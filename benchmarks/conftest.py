@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` scales the simulated horizon of every figure
+benchmark (default 0.3 -> 9 s warm-up + 27 s measured per point, enough
+for stable qualitative shapes).  Use 1.0 or higher to regenerate the
+numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import RunSettings
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    return RunSettings(scale=BENCH_SCALE)
+
+
+def run_once(benchmark, func):
+    """Run an expensive figure exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Figure 4.1: response time vs throughput -- none / static / best dynamic.
+
+Paper expectations (0.2 s delay):
+
+* without load sharing the local systems overload and the supportable
+  rate is limited to about 20 tps;
+* static load sharing is significantly better and supports about 30 tps;
+* the best dynamic scheme is better still.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_1, figure_report
+
+
+def test_figure_4_1(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_1(settings))
+    print()
+    print(figure_report(figure))
+
+    none = figure.curve("no-load-sharing")
+    static = figure.curve("static")
+    dynamic = figure.curve("best-dynamic")
+
+    # Saturation ordering: no sharing caps out far below the sharers.
+    assert none.max_supported_rate() < 25.0
+    assert static.max_supported_rate() >= 28.0
+    assert dynamic.max_supported_rate() >= 28.0
+    assert none.max_supported_rate() < static.max_supported_rate()
+
+    # At every common swept rate load sharing is no worse than none, and
+    # clearly better once the local sites are loaded (>= 15 tps).
+    for rate in (15.0, 20.0):
+        rt_none = [p.mean_response_time for p in none.points
+                   if p.total_rate == rate][0]
+        rt_static = [p.mean_response_time for p in static.points
+                     if p.total_rate == rate][0]
+        assert rt_static < rt_none
+
+    # The best dynamic scheme dominates static at high load.
+    high = [p.mean_response_time for p in dynamic.points
+            if p.total_rate >= 25.0]
+    high_static = [p.mean_response_time for p in static.points
+                   if p.total_rate >= 25.0]
+    assert sum(high) < sum(high_static)

@@ -1,0 +1,52 @@
+"""Figure 4.2: the six dynamic schemes A-F against the static optimum.
+
+Paper expectations (0.2 s delay):
+
+* A (measured response time) supports more than no sharing but is the
+  worst of the dynamic schemes;
+* B (queue length) lands close to the static optimum;
+* C/D (min incoming RT) are at least as good as static at high load;
+* E/F (min average RT) are the best schemes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_2, figure_report
+
+
+def _rt_at(curve, rate):
+    return [p.mean_response_time for p in curve.points
+            if p.total_rate == rate][0]
+
+
+def test_figure_4_2(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_2(settings))
+    print()
+    print(figure_report(figure))
+
+    measured = figure.curve("A:measured-response")
+    queue = figure.curve("B:queue-length")
+    min_in_q = figure.curve("C:min-incoming(q)")
+    min_in_n = figure.curve("D:min-incoming(n)")
+    min_avg_q = figure.curve("E:min-average(q)")
+    min_avg_n = figure.curve("F:min-average(n)")
+    static = figure.curve("static")
+
+    top = 33.0
+    # A is the weakest dynamic scheme at high load.
+    others_at_top = [_rt_at(curve, top) for curve in
+                     (queue, min_in_q, min_in_n, min_avg_q, min_avg_n)]
+    assert _rt_at(measured, top) > max(others_at_top)
+
+    # B tracks static within a modest band at high load.
+    assert _rt_at(queue, top) < 1.5 * _rt_at(static, top)
+
+    # The analytic schemes beat static at the top rate.
+    assert _rt_at(min_in_q, top) < _rt_at(static, top)
+    assert _rt_at(min_avg_q, top) < _rt_at(static, top)
+    assert _rt_at(min_avg_n, top) < _rt_at(static, top)
+
+    # The best analytic scheme also beats the queue-length heuristic.
+    best = min(_rt_at(curve, top) for curve in
+               (min_in_q, min_in_n, min_avg_q, min_avg_n))
+    assert best < _rt_at(queue, top)

@@ -1,0 +1,49 @@
+"""Figure 4.3: fraction of class A transactions shipped vs arrival rate.
+
+Paper expectations (0.2 s delay):
+
+* the static scheme ships (almost) nothing below ~5 tps, an increasing
+  fraction up to ~25 tps, then a gradually decreasing fraction;
+* the measured-response-time heuristic ships the largest fraction;
+* the (good) dynamic schemes ship less than static except at very small
+  rates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_3, figure_report
+
+
+def _fraction_at(curve, rate):
+    return [p.shipped_fraction for p in curve.points
+            if p.total_rate == rate][0]
+
+
+def test_figure_4_3(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_3(settings))
+    print()
+    print(figure_report(figure))
+
+    static = figure.curve("static")
+    measured = figure.curve("A:measured-response")
+    dynamic = figure.curve("best-dynamic")
+
+    # Static ships ~nothing at 5 tps and substantially at 25 tps.
+    assert _fraction_at(static, 5.0) < 0.1
+    assert _fraction_at(static, 25.0) > 0.5
+
+    # Rising-then-falling: the peak static fraction is interior.
+    fractions = list(static.shipped_fractions)
+    peak_index = fractions.index(max(fractions))
+    assert 0 < peak_index, "static fraction should rise from ~0"
+    assert fractions[-1] <= max(fractions) + 1e-9
+
+    # The measured-RT heuristic over-ships relative to the best dynamic.
+    for rate in (15.0, 25.0):
+        assert _fraction_at(measured, rate) > _fraction_at(dynamic, rate)
+
+    # The good dynamic ships less than static at moderate-to-high load.
+    mid_rates = (15.0, 20.0, 25.0)
+    dynamic_total = sum(_fraction_at(dynamic, r) for r in mid_rates)
+    static_total = sum(_fraction_at(static, r) for r in mid_rates)
+    assert dynamic_total < static_total

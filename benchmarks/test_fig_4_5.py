@@ -1,0 +1,44 @@
+"""Figure 4.5: response time vs throughput at 0.5 s delay.
+
+Paper expectations: the benefit of *static* load sharing is much smaller
+than at 0.2 s, while dynamic load sharing continues to offer significant
+improvement in response time and supportable transaction rate.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_1, figure_4_5, figure_report
+
+
+def _rt_at(curve, rate):
+    match = [p.mean_response_time for p in curve.points
+             if p.total_rate == rate]
+    return match[0] if match else None
+
+
+def test_figure_4_5(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_5(settings))
+    print()
+    print(figure_report(figure))
+    assert figure.comm_delay == 0.5
+
+    none = figure.curve("no-load-sharing")
+    static = figure.curve("static")
+    dynamic = figure.curve("best-dynamic")
+
+    # Load sharing still lifts the supportable rate past the baseline.
+    assert none.max_supported_rate() < 25.0
+    assert dynamic.max_supported_rate() >= 28.0
+
+    # Dynamic keeps a clear edge over static at high load.
+    highs = [r for r in (25.0, 30.0, 33.0)]
+    assert sum(_rt_at(dynamic, r) for r in highs) <= \
+        sum(_rt_at(static, r) for r in highs) * 1.02
+
+    # The static benefit over none at moderate load (15-20 tps) shrinks
+    # relative to the 0.2 s case of Figure 4.1.
+    base = figure_4_1(settings.scaled(1.0))
+    gain_02 = (_rt_at(base.curve("no-load-sharing"), 20.0) -
+               _rt_at(base.curve("static"), 20.0))
+    gain_05 = (_rt_at(none, 20.0) - _rt_at(static, 20.0))
+    assert gain_05 < gain_02

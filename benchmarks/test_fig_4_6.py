@@ -1,0 +1,45 @@
+"""Figure 4.6: shipped fraction vs rate at 0.5 s delay.
+
+Paper expectations: the static shipped-fraction curve has a point of
+inflection -- a *small* fraction at low rates (the large delay penalises
+shipping), a rapid rise as the local sites overload, then saturation as
+the central site fills up.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_3, figure_4_6, figure_report
+
+
+def _fraction_at(curve, rate):
+    return [p.shipped_fraction for p in curve.points
+            if p.total_rate == rate][0]
+
+
+def test_figure_4_6(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_6(settings))
+    print()
+    print(figure_report(figure))
+    assert figure.comm_delay == 0.5
+
+    static = figure.curve("static")
+    dynamic = figure.curve("best-dynamic")
+
+    # Small fraction at low rates, substantial at high rates.
+    assert _fraction_at(static, 5.0) < 0.15
+    assert _fraction_at(static, 30.0) > 0.4
+
+    # Rapid-rise segment: the largest jump between consecutive rates is
+    # in the interior (the inflection), not at the first step.
+    fractions = list(static.shipped_fractions)
+    jumps = [b - a for a, b in zip(fractions, fractions[1:])]
+    assert max(jumps) > 0.1
+
+    # The larger delay makes static shipping start later than at 0.2 s.
+    base = figure_4_3(settings.scaled(1.0))
+    static_02 = base.curve("static")
+    assert _fraction_at(static, 10.0) <= \
+        _fraction_at(static_02, 10.0) + 0.05
+
+    # The good dynamic is more conservative than static at moderate load.
+    assert _fraction_at(dynamic, 15.0) <= _fraction_at(static, 15.0) + 0.1

@@ -1,0 +1,45 @@
+"""Figure 4.7: threshold tuning at 0.5 s delay.
+
+Paper expectations: the optimal threshold moves from ~-0.2 (0.2 s delay)
+to about +0.1: the larger delay penalises centrally run transactions
+even though the central MIPS are larger, so the heuristic must demand a
+real utilisation gap before shipping.  The gap between the best dynamic
+strategy and the tuned heuristic is *more* significant than at 0.2 s.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_4_7, figure_report
+
+
+def _rt_sum_high(curve, rates=(25.0, 30.0, 33.0)):
+    return sum(p.mean_response_time for p in curve.points
+               if p.total_rate in rates)
+
+
+def test_figure_4_7(benchmark, settings):
+    figure = run_once(benchmark, lambda: figure_4_7(settings))
+    print()
+    print(figure_report(figure))
+    assert figure.comm_delay == 0.5
+
+    neutral = figure.curve("threshold(+0.0)")
+    positive_small = figure.curve("threshold(+0.1)")
+    positive_large = figure.curve("threshold(+0.2)")
+    negative = figure.curve("threshold(-0.2)")
+    dynamic = figure.curve("best-dynamic")
+
+    # With a 0.5 s delay the 0.2-delay optimum (-0.2) over-ships: every
+    # non-negative threshold beats it over the stable operating range.
+    # (At extreme load all policies converge -- everything must ship.)
+    stable = (5.0, 10.0, 15.0, 20.0, 25.0)
+    negative_rt = _rt_sum_high(negative, rates=stable)
+    for curve in (neutral, positive_small, positive_large):
+        assert _rt_sum_high(curve, rates=stable) < negative_rt
+
+    # The best dynamic strategy beats the best fixed threshold, and by
+    # more than in the 0.2 s case (the paper's closing observation).
+    best_threshold = min(
+        _rt_sum_high(curve, rates=stable)
+        for curve in (neutral, positive_small, positive_large, negative))
+    assert _rt_sum_high(dynamic, rates=stable) < best_threshold

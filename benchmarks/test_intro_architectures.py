@@ -1,0 +1,76 @@
+"""Introduction claim: distributed vs centralized execution of class B.
+
+The paper's introduction (citing [DIAS87]) frames the hybrid design:
+"the performance of the distributed system is better than the
+centralized system if the number of remote calls per transaction is
+significantly less than one, but is much worse otherwise."  Section 3
+notes class B could run locally with remote function calls but does not
+analyse it; this reproduction implements that mode
+(``class_b_mode="remote-call"``) and regenerates the comparison.
+
+The bench sweeps class B data locality (hence expected remote calls per
+transaction) and checks the crossover: with many remote calls the
+distributed execution is far worse than shipping to the central complex;
+as remote calls fall toward zero it becomes competitive and finally
+better (it avoids the two communication delays of shipping).
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.core import STRATEGIES
+from repro.db import TransactionClass
+from repro.hybrid import HybridSystem, paper_config
+
+TOTAL_RATE = 10.0
+#: p_b_local values giving ~9, 5, 2, 1, 0.5 and 0 remote calls per txn.
+LOCALITIES = [None, 0.5, 0.8, 0.9, 0.95, 1.0]
+
+
+def _class_b_rt(class_b_mode, p_b_local):
+    config = paper_config(total_rate=TOTAL_RATE,
+                          warmup_time=30.0 * BENCH_SCALE,
+                          measure_time=90.0 * BENCH_SCALE,
+                          class_b_mode=class_b_mode)
+    if p_b_local is not None:
+        config = config.with_options(
+            workload=replace(config.workload, p_b_local=p_b_local))
+    result = HybridSystem(config, STRATEGIES["none"](config)).run()
+    return (config.workload.expected_remote_calls,
+            result.response_time_by_class[TransactionClass.B])
+
+
+def test_distributed_vs_centralized_crossover(benchmark):
+    def run():
+        rows = []
+        for locality in LOCALITIES:
+            remote_calls, rt_distributed = _class_b_rt("remote-call",
+                                                       locality)
+            _, rt_central = _class_b_rt("central", locality)
+            rows.append((locality, remote_calls, rt_distributed,
+                         rt_central))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"  {'p_b_local':>10} {'remote/txn':>11} "
+          f"{'distributed':>12} {'centralized':>12}")
+    for locality, remote_calls, rt_dist, rt_cen in rows:
+        print(f"  {str(locality):>10} {remote_calls:>11.2f} "
+              f"{rt_dist:>11.3f}s {rt_cen:>11.3f}s")
+
+    by_locality = {row[0]: row for row in rows}
+
+    # Many remote calls (~9/txn): distributed "much worse" ([DIAS87]).
+    _, _, rt_dist, rt_cen = by_locality[None]
+    assert rt_dist > 2.0 * rt_cen
+
+    # Remote calls << 1: distributed at least competitive, and better
+    # at zero remote calls (no communication at all).
+    _, _, rt_dist_zero, rt_cen_zero = by_locality[1.0]
+    assert rt_dist_zero < rt_cen_zero
+
+    # Monotone improvement as locality rises.
+    distributed_rts = [row[2] for row in rows]
+    assert distributed_rts == sorted(distributed_rts, reverse=True)

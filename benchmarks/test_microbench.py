@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate components.
+
+These are genuine pytest-benchmark timing runs (many rounds) for the
+pieces whose speed determines how large an experiment the harness can
+sweep: the DES kernel, the lock manager, the analytic model and the
+static optimiser.
+"""
+
+from repro.core import AnalyticModel, optimize_static
+from repro.db import LockManager, LockMode
+from repro.hybrid import HybridSystem, paper_config
+from repro.core.router import AlwaysLocalRouter
+from repro.sim import Environment, Resource
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Schedule-and-dispatch cost of the raw event loop."""
+
+    def run():
+        env = Environment()
+
+        def ping(env):
+            for _ in range(2000):
+                yield env.timeout(1.0)
+
+        for _ in range(5):
+            env.process(ping(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 2000.0
+
+
+def test_bench_resource_contention(benchmark):
+    """Request/queue/release cycling through a contended resource."""
+
+    def run():
+        env = Environment()
+        cpu = Resource(env)
+        done = []
+
+        def user(env):
+            for _ in range(100):
+                with cpu.request() as req:
+                    yield req
+                    yield env.timeout(0.001)
+            done.append(1)
+
+        for _ in range(20):
+            env.process(user(env))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 20
+
+
+def test_bench_lock_manager_acquire_release(benchmark):
+    """Uncontended acquire/release pairs (the protocol's hot path)."""
+
+    env = Environment()
+    manager = LockManager(env)
+
+    def run():
+        for txn in range(100):
+            for entity in range(10):
+                manager.acquire(txn, entity * 31 + txn, LockMode.EXCLUSIVE)
+            manager.release_all(txn)
+        return manager.locks_granted
+
+    benchmark(run)
+
+
+def test_bench_analytic_model_evaluate(benchmark):
+    """One fixed-point solve of the Section 3.1 model."""
+    model = AnalyticModel(paper_config(total_rate=20.0))
+    estimate = benchmark(lambda: model.evaluate(0.5, 2.0))
+    assert estimate.response_average > 0
+
+
+def test_bench_static_optimizer(benchmark):
+    """Full grid optimisation of p_ship (41 + 21 model solves)."""
+    config = paper_config(total_rate=20.0)
+    optimum = benchmark.pedantic(lambda: optimize_static(config),
+                                 rounds=3, iterations=1)
+    assert 0.0 <= optimum.p_ship <= 1.0
+
+
+def test_bench_simulation_point(benchmark):
+    """End-to-end cost of one short simulated run at 20 tps."""
+    config = paper_config(total_rate=20.0, warmup_time=5.0,
+                          measure_time=15.0)
+
+    result = benchmark.pedantic(
+        lambda: HybridSystem(config, lambda c, i: AlwaysLocalRouter()).run(),
+        rounds=3, iterations=1)
+    assert result.completed > 0

@@ -1,0 +1,58 @@
+"""Communications-delay study: how the network reshapes routing policy.
+
+Reproduces the paper's central sensitivity finding (Figures 4.4 vs 4.7):
+the optimal utilisation threshold of the queue-length heuristic depends
+on the communications delay.  At 0.2 s the 15x-faster central CPU
+dominates and the best threshold is *negative* (ship even when the local
+site looks less utilised); at 0.5 s the delay penalty pushes the optimum
+positive-ward.
+
+The script sweeps thresholds at both delays, prints the tuned optimum
+for each, and compares it against the best analytic dynamic strategy.
+
+Run:  python examples/comm_delay_study.py
+"""
+
+from repro import STRATEGIES, paper_config, simulate
+from repro.core.heuristics import threshold_router_factory
+
+THRESHOLDS = [-0.3, -0.2, -0.1, 0.0, 0.1, 0.2]
+RATE = 28.0
+
+
+def study(comm_delay: float) -> None:
+    config = paper_config(total_rate=RATE, comm_delay=comm_delay,
+                          warmup_time=25.0, measure_time=75.0)
+    print(f"--- one-way delay {comm_delay:.1f}s, {RATE:g} tps ---")
+    outcomes = []
+    for threshold in THRESHOLDS:
+        result = simulate(config, threshold_router_factory(threshold))
+        outcomes.append((threshold, result))
+        print(f"  threshold {threshold:+.1f}: "
+              f"RT {result.mean_response_time:6.3f}s  "
+              f"shipped {result.shipped_fraction:5.1%}")
+    best_threshold, best = min(
+        outcomes, key=lambda pair: pair[1].mean_response_time)
+    dynamic = simulate(config, STRATEGIES["min-average-population"](config))
+    print(f"  => tuned optimum: threshold {best_threshold:+.1f} "
+          f"(RT {best.mean_response_time:.3f}s)")
+    print(f"  => best dynamic:  RT {dynamic.mean_response_time:.3f}s "
+          f"(no tuning required)")
+    print()
+    return best_threshold
+
+
+def main() -> None:
+    print("Tuning the queue-length threshold heuristic vs network delay")
+    print()
+    near = study(0.2)
+    far = study(0.5)
+    print(f"Optimal threshold moved from {near:+.1f} (0.2s delay) to "
+          f"{far:+.1f} (0.5s delay):")
+    print("a slower network demands a larger local-utilisation gap before")
+    print("shipping pays off -- and unlike the heuristic, the analytic")
+    print("dynamic strategy adapts to the delay without retuning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Tutorial: plugging your own load-sharing strategy into the library.
+
+A router is one small class: implement ``decide`` (and optionally
+``observe_completion`` for feedback), hand a factory to ``simulate``,
+and every class A arrival at every site flows through your code with an
+exact local view and the protocol's delayed central view.
+
+The custom strategy below is *freshness-aware*: it trusts the central
+queue signal only while it is recent, and falls back to a conservative
+local-utilisation rule when the signal is stale -- addressing the very
+caveat the paper raises about delayed central information.
+
+Run:  python examples/custom_strategy.py
+"""
+
+from repro import STRATEGIES, Router, RoutingObservation, paper_config, \
+    simulate
+from repro.db import Placement, Transaction
+
+
+class FreshnessAwareRouter(Router):
+    """Ship on queue comparison while central state is fresh; otherwise
+    ship only when the local site is clearly saturated."""
+
+    name = "freshness-aware"
+
+    def __init__(self, max_age: float = 2.0, fallback_queue: int = 4):
+        self.max_age = max_age
+        self.fallback_queue = fallback_queue
+        self.stale_decisions = 0
+        self.fresh_decisions = 0
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        if observation.central_state_age <= self.max_age:
+            self.fresh_decisions += 1
+            if observation.central.queue_length < \
+                    observation.local_queue_length:
+                return Placement.SHIPPED
+            return Placement.LOCAL
+        # Stale signal: only offload unambiguous local congestion.
+        self.stale_decisions += 1
+        if observation.local_queue_length >= self.fallback_queue:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+def main() -> None:
+    config = paper_config(total_rate=26.0, warmup_time=20.0,
+                          measure_time=60.0)
+    print(f"System: {config.describe()}")
+    print()
+
+    routers: list[FreshnessAwareRouter] = []
+
+    def factory(cfg, site):
+        router = FreshnessAwareRouter()
+        routers.append(router)
+        return router
+
+    custom = simulate(config, factory)
+    baseline = simulate(config, STRATEGIES["queue-length"](config))
+    best = simulate(config, STRATEGIES["min-average-population"](config))
+
+    print(f"{'strategy':<24} {'mean RT':>8} {'shipped':>8}")
+    for label, result in (("queue-length (paper B)", baseline),
+                          ("freshness-aware (ours)", custom),
+                          ("min-average (paper F)", best)):
+        print(f"{label:<24} {result.mean_response_time:>7.3f}s "
+              f"{result.shipped_fraction:>7.1%}")
+
+    stale = sum(router.stale_decisions for router in routers)
+    fresh = sum(router.fresh_decisions for router in routers)
+    print()
+    print(f"The custom router made {fresh} decisions on fresh central "
+          f"state and {stale} on stale state.")
+    print("Three ingredients: a Router subclass, a factory, simulate().")
+
+
+if __name__ == "__main__":
+    main()

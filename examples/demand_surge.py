@@ -1,0 +1,78 @@
+"""Scenario: riding out a flash demand surge with dynamic load sharing.
+
+Transaction volumes in reservation and banking systems are not
+stationary -- the paper's opening sentence calls out "regional locality
+and load fluctuations".  This example drives the hybrid system with a
+time-varying arrival profile: a calm baseline, a 3x flash surge (think
+a fare sale or a market open), and recovery.
+
+A static policy must be provisioned for one operating point; the
+dynamic router re-routes within seconds of the surge hitting, then
+returns the work home when it passes.
+
+Run:  python examples/demand_surge.py
+"""
+
+from repro import STRATEGIES, paper_config
+from repro.db.timevarying import RateProfile, attach_profiles
+from repro.hybrid import HybridSystem
+
+BASELINE_TOTAL = 12.0     # tps across the 10 regions
+SURGE_MULTIPLIER = 2.5    # 30 tps during the surge
+SURGE_START, SURGE_END = 60.0, 120.0
+HORIZON = 180.0
+
+PHASES = [
+    ("before surge", 20.0, SURGE_START),
+    ("during surge", SURGE_START, SURGE_END),
+    ("after surge", SURGE_END, HORIZON),
+]
+
+
+def run(strategy: str) -> dict[str, tuple[float, int]]:
+    config = paper_config(total_rate=BASELINE_TOTAL, warmup_time=0.0,
+                          measure_time=HORIZON)
+    system = HybridSystem(config, STRATEGIES[strategy](config))
+    profile = RateProfile(breakpoints=(SURGE_START, SURGE_END),
+                          multipliers=(1.0, SURGE_MULTIPLIER, 1.0))
+    attach_profiles(system, [profile] * len(system.sites))
+
+    # Collect per-phase response times by sampling completions directly.
+    phase_sums = {label: [0.0, 0] for label, _, _ in PHASES}
+    original = system.metrics.record_completion
+
+    def recording(txn):
+        original(txn)
+        for label, start, end in PHASES:
+            if start <= txn.completed_at < end:
+                phase_sums[label][0] += txn.response_time
+                phase_sums[label][1] += 1
+    system.metrics.record_completion = recording
+
+    system.run()
+    return {label: (total / max(count, 1), count)
+            for label, (total, count) in phase_sums.items()}
+
+
+def main() -> None:
+    print("Flash surge: 12 tps baseline, 2.5x between t=60s and t=120s")
+    print()
+    header = f"{'strategy':<26}" + "".join(
+        f"{label:>22}" for label, _, _ in PHASES)
+    print(header)
+    for strategy in ("none", "static-optimal", "min-average-population"):
+        phases = run(strategy)
+        row = f"{strategy:<26}"
+        for label, _, _ in PHASES:
+            mean_rt, count = phases[label]
+            row += f"{mean_rt:>14.2f}s ({count:>4d})"
+        print(row)
+    print()
+    print("The static probability was optimised for the 12 tps baseline,")
+    print("so the surge overwhelms the local sites it leaves loaded; the")
+    print("dynamic router absorbs the surge by shipping harder exactly")
+    print("while it lasts, and recovers the low-latency local path after.")
+
+
+if __name__ == "__main__":
+    main()

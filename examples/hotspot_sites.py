@@ -1,0 +1,66 @@
+"""Scenario: uneven regional demand -- hot-spot sites.
+
+The paper's introduction motivates the hybrid architecture with
+applications that "exhibit regional locality *and load fluctuations*".
+This example makes the fluctuation concrete: three of the ten regions
+run hot (2.5x the base arrival rate) while the rest idle along at 0.5x.
+System-wide the load is moderate -- but the hot regions alone would be
+saturated.
+
+Load sharing is exactly the remedy: the hot sites' routers observe their
+own long queues and ship their overflow to the central complex, while
+the cool sites keep their work local.  A static system-wide shipping
+probability cannot make that distinction.
+
+Run:  python examples/hotspot_sites.py
+"""
+
+from repro import STRATEGIES, SimulationResult, paper_config
+from repro.hybrid import HybridSystem
+
+HOT_SITES = (0, 1, 2)
+MULTIPLIERS = tuple(2.5 if site in HOT_SITES else 0.5
+                    for site in range(10))
+BASE_TOTAL = 20.0  # would be 2 tps/site if demand were even
+
+
+def run(strategy: str) -> tuple[SimulationResult, HybridSystem]:
+    config = paper_config(total_rate=BASE_TOTAL, warmup_time=25.0,
+                          measure_time=75.0)
+    config = config.with_options(
+        workload=config.workload.__class__(
+            n_sites=10, lockspace=config.workload.lockspace,
+            locks_per_txn=10, p_local=0.75,
+            p_update=config.workload.p_update,
+            arrival_rate_per_site=2.0,
+            rate_multipliers=MULTIPLIERS))
+    system = HybridSystem(config, STRATEGIES[strategy](config))
+    return system.run(), system
+
+
+def main() -> None:
+    print("Hot-spot demand: sites 0-2 at 2.5x, sites 3-9 at 0.5x")
+    print(f"(system-wide {2.0 * sum(MULTIPLIERS):.0f} tps -- moderate on "
+          "average, crushing for the hot regions)")
+    print()
+    for strategy in ("none", "static-optimal", "min-average-population"):
+        result, system = run(strategy)
+        hot_util = sum(system.sites[s].cpu.utilization(
+            since=system.config.warmup_time) for s in HOT_SITES) / 3
+        cool_util = sum(system.sites[s].cpu.utilization(
+            since=system.config.warmup_time)
+            for s in range(10) if s not in HOT_SITES) / 7
+        print(f"{strategy:<24} mean RT {result.mean_response_time:6.2f}s  "
+              f"p95 {result.response_time_percentiles['p95']:6.2f}s  "
+              f"hot-site util {hot_util:4.0%}  "
+              f"cool-site util {cool_util:4.0%}  "
+              f"shipped {result.shipped_fraction:5.1%}")
+    print()
+    print("The dynamic router drains the hot regions (their utilisation")
+    print("drops toward the cool sites') by shipping selectively from")
+    print("exactly the overloaded sites -- something neither no-sharing")
+    print("nor a single system-wide static probability can do.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: simulate the paper's hybrid system in a dozen lines.
+
+Builds the paper's base configuration (10 regional sites at 1 MIPS, one
+15 MIPS central complex, 0.2 s links, 75% purely-local transactions),
+runs three routing strategies at a loaded operating point, and prints
+what each achieves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import STRATEGIES, paper_config, simulate
+
+
+def main() -> None:
+    config = paper_config(
+        total_rate=25.0,        # transactions/second across all sites
+        warmup_time=20.0,       # discarded start-up transient (seconds)
+        measure_time=60.0,      # measured window (seconds)
+    )
+    print(f"System: {config.describe()}")
+    print()
+    print(f"{'strategy':<26} {'mean RT':>8} {'throughput':>11} "
+          f"{'shipped':>8} {'aborts/txn':>11}")
+    for name in ("none", "static-optimal", "queue-length",
+                 "min-average-population"):
+        router_factory = STRATEGIES[name](config)
+        result = simulate(config, router_factory)
+        print(f"{name:<26} {result.mean_response_time:>7.3f}s "
+              f"{result.throughput:>10.2f}  "
+              f"{result.shipped_fraction:>7.1%} "
+              f"{result.abort_rate:>11.3f}")
+    print()
+    print("Reading: without load sharing the ten 1-MIPS sites are the")
+    print("bottleneck; shipping part of the class A work to the central")
+    print("complex cuts the mean response time, and the dynamic scheme")
+    print("(minimising the average RT of all running transactions) beats")
+    print("the optimal static probability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scenario: a regional reservation system riding out a demand surge.
+
+The paper motivates the hybrid architecture with reservation, insurance
+and banking workloads: most requests touch only their region's data
+(class A: seat queries and bookings against the regional inventory), a
+minority spans regions (class B: multi-leg itineraries, settlements).
+
+This example models a booking day at three demand levels -- overnight
+lull, business hours, and an evening surge -- and shows how the best
+dynamic load-sharing strategy adapts the fraction of regional work it
+ships to the central complex, while a no-load-sharing deployment falls
+over during the surge.
+
+Run:  python examples/reservation_system.py
+"""
+
+from repro import STRATEGIES, paper_config, simulate
+
+#: (label, total booking transactions per second across the 10 regions)
+DEMAND_LEVELS = [
+    ("overnight lull", 6.0),
+    ("business hours", 18.0),
+    ("evening surge", 30.0),
+]
+
+
+def run_level(label: str, total_rate: float) -> None:
+    config = paper_config(total_rate=total_rate, warmup_time=20.0,
+                          measure_time=60.0)
+    print(f"--- {label}: {total_rate:.0f} bookings/second system-wide ---")
+    for strategy in ("none", "min-average-population"):
+        result = simulate(config, STRATEGIES[strategy](config))
+        verdict = "OK" if result.mean_response_time < 3.0 else "DEGRADED"
+        print(f"  {strategy:<24} mean RT {result.mean_response_time:6.2f}s"
+              f"  regional util {result.mean_local_utilization:4.0%}"
+              f"  central util {result.mean_central_utilization:4.0%}"
+              f"  shipped {result.shipped_fraction:5.1%}  [{verdict}]")
+    print()
+
+
+def main() -> None:
+    print("Regional reservation system on the hybrid architecture")
+    print("(10 regions x 1 MIPS, central complex 15 MIPS, 0.2 s links,")
+    print(" 75% of bookings touch only their own region's inventory)")
+    print()
+    for label, rate in DEMAND_LEVELS:
+        run_level(label, rate)
+    print("Takeaway: the dynamic router ships almost nothing overnight")
+    print("(shipping would only add two network delays), but during the")
+    print("surge it offloads most regional bookings to the central")
+    print("complex, keeping response times flat where the local-only")
+    print("deployment saturates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Reproduction of *Load Sharing in Hybrid Distributed-Centralized
+Database Systems* (Ciciani, Dias & Yu, ICDCS 1988).
+
+Public API layers:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel (engine,
+  resources, links, RNG streams, output-analysis statistics);
+* :mod:`repro.db` -- database substrate (dual-field lock manager,
+  deadlock detection, transactions, workload generation);
+* :mod:`repro.hybrid` -- the hybrid distributed-centralized system model
+  (local sites, central complex, coherency/authentication protocol);
+* :mod:`repro.core` -- the paper's contribution: the analytic model and
+  the static/dynamic/heuristic load-sharing strategies;
+* :mod:`repro.analysis` -- queueing-analysis helpers;
+* :mod:`repro.experiments` -- per-figure experiment harness and reports.
+
+Quickstart::
+
+    from repro import paper_config, simulate, STRATEGIES
+
+    config = paper_config(total_rate=25.0)
+    result = simulate(config, STRATEGIES["min-average-population"](config))
+    print(result.mean_response_time, result.shipped_fraction)
+"""
+
+from .core import (
+    STRATEGIES,
+    AnalyticModel,
+    Router,
+    RoutingObservation,
+    optimize_static,
+)
+from .hybrid import (
+    PAPER_BASE,
+    HybridSystem,
+    SimulationResult,
+    SystemConfig,
+    paper_config,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STRATEGIES",
+    "AnalyticModel",
+    "Router",
+    "RoutingObservation",
+    "optimize_static",
+    "PAPER_BASE",
+    "HybridSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "paper_config",
+    "simulate",
+    "__version__",
+]

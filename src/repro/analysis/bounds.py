@@ -1,0 +1,110 @@
+"""Asymptotic capacity bounds for the hybrid system.
+
+Operational bottleneck analysis, independent of the stochastic detail:
+given a shipping probability the CPU demand placed on each local site
+and on the central complex is a linear function of the arrival rate, so
+the saturation throughput is a simple min-over-stations bound.  These
+bounds explain the saturation points of Figures 4.1/4.5 (the paper's
+"maximum transaction rate supportable") and provide the envelope over
+all static policies.
+
+First-run demands only (no rerun inflation), so the bounds are upper
+bounds on achievable throughput -- the simulator saturates somewhat
+earlier because aborted work re-executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hybrid.config import SystemConfig
+
+__all__ = ["CapacityBound", "capacity_bound", "best_static_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityBound:
+    """Saturation analysis at one shipping probability."""
+
+    p_ship: float
+    local_limit: float      # total tps at which local sites saturate
+    central_limit: float    # total tps at which the central saturates
+    bottleneck: str
+
+    @property
+    def total_limit(self) -> float:
+        return min(self.local_limit, self.central_limit)
+
+
+def _local_demand_per_txn(config: SystemConfig, p_ship: float) -> float:
+    """CPU seconds demanded of *one* site per system transaction.
+
+    Each site receives a 1/n share of arrivals.  Per system transaction
+    a site pays: the full run cost for its retained class A share, plus
+    an authentication burst for each shipped class A transaction of its
+    own region and for each class B transaction that masters data there
+    (a class B transaction contacts ``class_b_masters`` of the n sites
+    on average, i.e. ``class_b_masters / n`` chance per site -- but its
+    arrival may be at any site, so per system transaction each site sees
+    ``(1 - p_local) * class_b_masters / n`` authentication requests).
+    """
+    workload = config.workload
+    n = workload.n_sites
+    k = workload.locks_per_txn
+    retained = workload.p_local * (1.0 - p_ship)
+    run_cost = config.cpu_seconds_local(
+        config.instr_per_txn + config.instr_commit)
+    class_b_masters = n * (1.0 - (1.0 - 1.0 / n) ** k)
+    auth_cost = config.cpu_seconds_local(config.instr_auth_master)
+    auth_requests = (workload.p_local * p_ship +
+                     (1.0 - workload.p_local) * class_b_masters)
+    return (retained * run_cost + auth_requests * auth_cost) / n
+
+
+def _central_demand_per_txn(config: SystemConfig, p_ship: float) -> float:
+    """Central CPU seconds per system transaction."""
+    workload = config.workload
+    central_share = (1.0 - workload.p_local) + workload.p_local * p_ship
+    run_cost = config.cpu_seconds_central(
+        config.instr_per_txn + config.instr_commit +
+        config.instr_auth_central)
+    update_share = workload.p_local * (1.0 - p_ship)
+    update_cost = config.cpu_seconds_central(config.instr_update_apply)
+    return central_share * run_cost + update_share * update_cost
+
+
+def capacity_bound(config: SystemConfig, p_ship: float) -> CapacityBound:
+    """Saturation throughput bound at a fixed shipping probability."""
+    if not 0.0 <= p_ship <= 1.0:
+        raise ValueError(f"p_ship out of range: {p_ship}")
+    local_demand = _local_demand_per_txn(config, p_ship)
+    central_demand = _central_demand_per_txn(config, p_ship)
+    # A station saturates when (total rate) x (demand per system txn)
+    # reaches 1 second of CPU per second.
+    local_limit = (1.0 / local_demand if local_demand > 0
+                   else float("inf"))
+    central_limit = (1.0 / central_demand if central_demand > 0
+                     else float("inf"))
+    bottleneck = ("local" if local_limit <= central_limit else "central")
+    return CapacityBound(p_ship=p_ship, local_limit=local_limit,
+                         central_limit=central_limit,
+                         bottleneck=bottleneck)
+
+
+def best_static_capacity(config: SystemConfig,
+                         grid_points: int = 101) -> CapacityBound:
+    """The shipping probability maximising the capacity bound.
+
+    The local limit increases with p_ship while the central limit
+    decreases, so the maximum sits where they cross (found on a grid for
+    robustness against the authentication-cost kink).
+    """
+    if grid_points < 2:
+        raise ValueError("need at least 2 grid points")
+    best = None
+    for index in range(grid_points):
+        p_ship = index / (grid_points - 1)
+        bound = capacity_bound(config, p_ship)
+        if best is None or bound.total_limit > best.total_limit:
+            best = bound
+    return best

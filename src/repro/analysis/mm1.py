@@ -1,0 +1,107 @@
+"""Elementary queueing formulas used by the analytical model.
+
+The paper's response-time equations expand CPU service times by the
+M/M/1-style factor ``1/(1-rho)`` and infer utilisation from observed
+queue lengths via the M/M/1 stationary relation ``E[N] = rho/(1-rho)``.
+These helpers implement those pieces with the guard rails a fixed-point
+solver needs (utilisations clamped strictly below one).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MAX_UTILIZATION",
+    "clamp_utilization",
+    "mm1_expansion",
+    "mm1_mean_number",
+    "mm1_response_time",
+    "utilization_from_queue_length",
+    "utilization_from_population",
+]
+
+#: Upper clamp applied to every estimated utilisation.  The analytic
+#: model must return *finite* response times even for overload inputs so
+#: that optimisers and routing comparisons can rank them.
+MAX_UTILIZATION = 0.995
+
+
+def clamp_utilization(rho: float, limit: float = MAX_UTILIZATION) -> float:
+    """Clamp a utilisation estimate into ``[0, limit]``."""
+    if math.isnan(rho):
+        raise ValueError("utilization is NaN")
+    return min(max(rho, 0.0), limit)
+
+
+def mm1_expansion(rho: float) -> float:
+    """The queueing expansion factor ``1/(1-rho)`` (clamped)."""
+    return 1.0 / (1.0 - clamp_utilization(rho))
+
+
+def mm1_mean_number(rho: float) -> float:
+    """Stationary mean number in an M/M/1 system, ``rho/(1-rho)``."""
+    rho = clamp_utilization(rho)
+    return rho / (1.0 - rho)
+
+
+def mm1_response_time(service_time: float, rho: float) -> float:
+    """Mean response time of an M/M/1 queue with the given service time."""
+    if service_time < 0:
+        raise ValueError("negative service time")
+    return service_time * mm1_expansion(rho)
+
+
+def utilization_from_queue_length(queue_length: float,
+                                  extra_jobs: float = 0.0) -> float:
+    """Invert ``E[N] = rho/(1-rho)`` from an observed queue length.
+
+    This is the paper's Section 3.2.1(a) estimator
+    ``rho = (q + a) / (q + 1 + a)``: ``extra_jobs`` is the correction
+    term ``a`` accounting for routing the incoming transaction to this
+    processor.
+    """
+    if queue_length < 0:
+        raise ValueError("negative queue length")
+    n = queue_length + extra_jobs
+    return clamp_utilization(n / (n + 1.0))
+
+
+def utilization_from_population(n_txns: float, service_demand: float,
+                                think_time: float,
+                                extra_jobs: float = 0.0) -> float:
+    """Section 3.2.1(b): utilisation from the number in system.
+
+    The paper's ``rho = alpha * (n + a)`` with ``alpha`` the fraction of
+    its residence a transaction spends at the CPU.  That fraction is not
+    a constant: as the CPU loads up, each transaction's residence
+    stretches while its CPU demand does not.  The self-consistent version
+    is the utilisation law ``rho = n * S / R(rho)`` with the response
+    time ``R(rho) = Z + S / (1 - rho)`` (``S`` = CPU demand per
+    transaction, ``Z`` = the CPU-free part of the residence: I/O waits,
+    communication).  Substituting gives the quadratic
+
+        Z rho^2 - (Z + S + n S) rho + n S = 0,
+
+    whose smaller root is the utilisation estimate -- it is 0 at n = 0,
+    increases in n, and approaches (but never reaches) 1, unlike the raw
+    ``alpha * n`` which exceeds 1 for moderate populations.
+    """
+    if n_txns < 0:
+        raise ValueError("negative population")
+    if service_demand <= 0:
+        raise ValueError("service demand must be positive")
+    if think_time < 0:
+        raise ValueError("negative think time")
+    n = n_txns + extra_jobs
+    if n <= 0:
+        return 0.0
+    if think_time == 0:
+        # Pure CPU residence: the station is busy whenever jobs exist.
+        return clamp_utilization(n / (n + 1.0))
+    a = think_time
+    b = -(think_time + service_demand + n * service_demand)
+    c = n * service_demand
+    discriminant = b * b - 4.0 * a * c
+    root = (-b - math.sqrt(max(discriminant, 0.0))) / (2.0 * a)
+    return clamp_utilization(root)

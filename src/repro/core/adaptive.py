@@ -1,0 +1,95 @@
+"""Self-tuning threshold routing (an extension beyond the paper).
+
+The paper's closing observation is that the optimal utilisation
+threshold of the queue-length heuristic *depends on the communications
+delay, the MIPS ratio, the fraction of local transactions and the number
+of sites* -- i.e. it must be re-tuned whenever the system changes.  This
+module supplies the natural follow-up the paper leaves open: a threshold
+router that tunes itself online.
+
+:class:`AdaptiveThresholdRouter` keeps exponentially weighted averages
+of the response times its own shipped and retained class A transactions
+achieved, and hill-climbs the threshold: when shipped transactions have
+been finishing faster, the threshold is lowered (ship more); when
+retained ones win, it is raised.  The step size shrinks as evidence
+accumulates, and the threshold is clamped to a sane band.
+
+This is *not* a paper curve; it is benchmarked against the tuned static
+thresholds in ``benchmarks/test_ablations.py`` and exercised in the
+``comm_delay_study`` example family.
+"""
+
+from __future__ import annotations
+
+from ..analysis.mm1 import utilization_from_queue_length
+from ..db.transaction import Placement, Transaction
+from ..hybrid.config import SystemConfig
+from .router import Router, RoutingObservation
+
+__all__ = ["AdaptiveThresholdRouter", "adaptive_threshold_router"]
+
+
+class AdaptiveThresholdRouter(Router):
+    """Queue-length threshold heuristic with online hill-climbing."""
+
+    def __init__(self, initial_threshold: float = 0.0,
+                 step: float = 0.02, smoothing: float = 0.1,
+                 bounds: tuple[float, float] = (-0.5, 0.5)):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        low, high = bounds
+        if low >= high:
+            raise ValueError(f"empty threshold band {bounds}")
+        self.threshold = float(initial_threshold)
+        self.step = step
+        self.smoothing = smoothing
+        self.bounds = bounds
+        self._shipped_rt: float | None = None
+        self._local_rt: float | None = None
+        self.adjustments = 0
+        self.name = "adaptive-threshold"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        rho_local = utilization_from_queue_length(
+            observation.local_queue_length)
+        rho_central = utilization_from_queue_length(
+            observation.central.queue_length)
+        if rho_local - rho_central > self.threshold:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+    def observe_completion(self, txn: Transaction) -> None:
+        response = txn.response_time
+        if txn.placement is Placement.SHIPPED:
+            self._shipped_rt = self._blend(self._shipped_rt, response)
+        elif txn.placement is Placement.LOCAL:
+            self._local_rt = self._blend(self._local_rt, response)
+        else:
+            return
+        self._adjust()
+
+    def _blend(self, current: float | None, observation: float) -> float:
+        if current is None:
+            return observation
+        return (1.0 - self.smoothing) * current + \
+            self.smoothing * observation
+
+    def _adjust(self) -> None:
+        """One hill-climbing step once both signals exist."""
+        if self._shipped_rt is None or self._local_rt is None:
+            return
+        low, high = self.bounds
+        if self._shipped_rt < self._local_rt:
+            self.threshold = max(low, self.threshold - self.step)
+        elif self._shipped_rt > self._local_rt:
+            self.threshold = min(high, self.threshold + self.step)
+        self.adjustments += 1
+
+
+def adaptive_threshold_router(config: SystemConfig,
+                              site: int) -> AdaptiveThresholdRouter:
+    """Factory with default tuning parameters."""
+    return AdaptiveThresholdRouter()

@@ -1,0 +1,124 @@
+"""Analytic response-time estimate for the fully distributed mode.
+
+A closed-form companion to :class:`~repro.core.model.AnalyticModel` for
+``class_b_mode = "remote-call"``: a class B transaction running at its
+home site pays its local execution (queue-expanded on the 1 MIPS site)
+plus one synchronous round trip per remote reference, each costing two
+communication delays plus the (queue-expanded) server-side call handling
+at the central complex.
+
+This is the quantitative form of the introduction's [DIAS87] statement:
+with ``k`` remote calls per transaction the distributed execution adds
+``k * (2 D + S_server)`` of pure latency, so it loses to shipping (which
+pays the round trips only once) as soon as ``k`` is not much smaller
+than one.  :func:`crossover_locality` solves for the class B locality at
+which the two execution modes break even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.mm1 import mm1_expansion
+from ..hybrid.config import SystemConfig
+from .model import AnalyticModel
+
+__all__ = ["DistributedEstimate", "DistributedModel", "crossover_locality"]
+
+
+@dataclass(frozen=True)
+class DistributedEstimate:
+    """Zero-contention estimate of one class B execution mode pair."""
+
+    remote_calls: float
+    response_distributed: float
+    response_centralized: float
+
+    @property
+    def distributed_wins(self) -> bool:
+        return self.response_distributed < self.response_centralized
+
+
+class DistributedModel:
+    """Estimates class B response time under both execution modes."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.model = AnalyticModel(config)
+
+    def remote_calls(self, p_b_local: float | None) -> float:
+        """Expected remote references per class B transaction."""
+        workload = self.config.workload
+        if p_b_local is None:
+            return workload.locks_per_txn * \
+                (1.0 - 1.0 / workload.n_sites)
+        if not 0.0 <= p_b_local <= 1.0:
+            raise ValueError(f"p_b_local out of range: {p_b_local}")
+        return workload.locks_per_txn * (1.0 - p_b_local)
+
+    def estimate(self, p_b_local: float | None,
+                 rho_local: float = 0.0,
+                 rho_central: float = 0.0) -> DistributedEstimate:
+        """Estimate both modes at given utilisations (0 = idle system)."""
+        config = self.config
+        model = self.model
+        k_remote = self.remote_calls(p_b_local)
+        k_local = config.locks_per_txn - k_remote
+        expand_l = mm1_expansion(rho_local)
+        expand_c = mm1_expansion(rho_central)
+
+        # Distributed: full pathlength on the slow local CPU; I/O only
+        # for home references (remote data arrives with the reply);
+        # one round trip plus server-side call handling per remote ref.
+        cpu_local = (model.cpu_overhead_l + model.cpu_calls_l +
+                     model.cpu_commit_l) * expand_l
+        io_local = config.io_initial + k_local * config.io_per_db_call
+        remote = k_remote * (
+            2.0 * config.comm_delay +
+            config.cpu_seconds_central(config.instr_per_db_call) *
+            expand_c)
+        response_distributed = cpu_local + io_local + remote
+
+        # Centralized (shipped): the Section 3.1 central path at the
+        # same utilisations.
+        cpu_central = (model.cpu_overhead_c + model.cpu_calls_c +
+                       model.cpu_commit_c + model.cpu_auth_c) * expand_c
+        response_centralized = (
+            2.0 * config.comm_delay + config.total_io_time + cpu_central +
+            model.auth_window(rho_local))
+
+        return DistributedEstimate(
+            remote_calls=k_remote,
+            response_distributed=response_distributed,
+            response_centralized=response_centralized)
+
+
+def crossover_locality(config: SystemConfig, rho_local: float = 0.0,
+                       rho_central: float = 0.0,
+                       tolerance: float = 1e-4) -> float:
+    """Class B locality at which the two modes break even.
+
+    Returns the ``p_b_local`` where the distributed estimate equals the
+    centralized one (bisection; the distributed response is monotone
+    decreasing in locality).  Returns 0.0 or 1.0 when one mode dominates
+    over the whole range.
+    """
+    model = DistributedModel(config)
+
+    def gap(p_b_local: float) -> float:
+        estimate = model.estimate(p_b_local, rho_local, rho_central)
+        return estimate.response_distributed - \
+            estimate.response_centralized
+
+    low, high = 0.0, 1.0
+    if gap(low) <= 0:
+        return 0.0
+    if gap(high) >= 0:
+        return 1.0
+    while high - low > tolerance:
+        middle = (low + high) / 2.0
+        if gap(middle) > 0:
+            low = middle
+        else:
+            high = middle
+    return (low + high) / 2.0

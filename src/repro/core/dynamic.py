@@ -1,0 +1,121 @@
+"""The four analytic dynamic load-sharing strategies (Sections 3.2.1-2).
+
+All four estimate response times with :class:`~repro.core.estimators.StateEstimator`
+and differ along two axes:
+
+=====================  ===============================  =========================
+Paper curve            Objective                        Utilisation source
+=====================  ===============================  =========================
+C (Fig 4.2)            minimise incoming txn RT         CPU queue length
+D (Fig 4.2)            minimise incoming txn RT         number in system
+E (Fig 4.2)            minimise average RT of all txns  CPU queue length
+F (Fig 4.2)            minimise average RT of all txns  number in system
+=====================  ===============================  =========================
+
+The min-average schemes weight the estimated local and central response
+times by the populations affected by the decision (Section 3.2.2): for
+case (1), run locally,
+
+    [(n_i + 1) R_L^(1) + n_c R_C^(1)] / (n_i + n_c + 1)
+
+and for case (2), ship,
+
+    [n_i R_L^(2) + (n_c + 1) R_C^(2)] / (n_i + n_c + 1),
+
+routing to whichever case yields the smaller weighted average -- thereby
+accounting for the effect of the routing decision on the transactions
+already running, which the paper finds to be the decisive refinement.
+"""
+
+from __future__ import annotations
+
+from ..db.transaction import Placement, Transaction
+from ..hybrid.config import SystemConfig
+from .estimators import StateEstimator, UtilizationSource
+from .router import Router, RoutingObservation
+
+__all__ = [
+    "MinIncomingResponseRouter",
+    "MinAverageResponseRouter",
+    "min_incoming_queue_router",
+    "min_incoming_population_router",
+    "min_average_queue_router",
+    "min_average_population_router",
+]
+
+
+class MinIncomingResponseRouter(Router):
+    """Minimise the estimated response time of the incoming transaction.
+
+    Paper curves C (queue-length source) and D (number-in-system source).
+    """
+
+    def __init__(self, config: SystemConfig, source: UtilizationSource):
+        self.estimator = StateEstimator(config, source)
+        self.name = f"min-incoming({source.value})"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        cases = self.estimator.estimate_cases(observation)
+        # The incoming transaction's own estimated RT under the *current*
+        # load at each candidate processor (it does not queue behind
+        # itself): ship iff the central path looks faster.
+        if cases.central_base < cases.local_base:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+class MinAverageResponseRouter(Router):
+    """Minimise the estimated average RT of *all* running transactions.
+
+    Paper curves E (queue-length source) and F (number-in-system source);
+    the paper's best-performing family.
+    """
+
+    def __init__(self, config: SystemConfig, source: UtilizationSource):
+        self.estimator = StateEstimator(config, source)
+        self.name = f"min-average({source.value})"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        cases = self.estimator.estimate_cases(observation)
+        n_local = observation.local_n_txns
+        n_central = observation.central.n_txns
+        population = n_local + n_central + 1
+        # Case (1), retain: the n_i running locals see the newcomer's
+        # added load; the newcomer sees the current local load; central
+        # transactions are unaffected.
+        average_retain = (n_local * cases.local_plus +
+                          cases.local_base +
+                          n_central * cases.central_base) / population
+        # Case (2), ship: locals are relieved; the newcomer sees the
+        # current central load; the n_c running centrals see the added
+        # load.
+        average_ship = (n_local * cases.local_base +
+                        cases.central_base +
+                        n_central * cases.central_plus) / population
+        if average_ship < average_retain:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+def min_incoming_queue_router(config: SystemConfig, site: int) -> Router:
+    """Factory for paper curve C."""
+    return MinIncomingResponseRouter(config, UtilizationSource.QUEUE_LENGTH)
+
+
+def min_incoming_population_router(config: SystemConfig,
+                                   site: int) -> Router:
+    """Factory for paper curve D."""
+    return MinIncomingResponseRouter(config, UtilizationSource.POPULATION)
+
+
+def min_average_queue_router(config: SystemConfig, site: int) -> Router:
+    """Factory for paper curve E."""
+    return MinAverageResponseRouter(config, UtilizationSource.QUEUE_LENGTH)
+
+
+def min_average_population_router(config: SystemConfig,
+                                  site: int) -> Router:
+    """Factory for paper curve F (the paper's best strategy)."""
+    return MinAverageResponseRouter(config, UtilizationSource.POPULATION)

@@ -1,0 +1,165 @@
+"""Heuristic load-sharing strategies (Sections 3.2.3, 3.2.4, 4.2).
+
+Three families:
+
+* :class:`MeasuredResponseTimeRouter` (paper curve A): route by
+  comparing the measured response times of the last shipped and the last
+  retained class A transaction of this site -- trying to keep the two
+  comparable.  The paper finds it the weakest dynamic scheme because the
+  signal describes the past, not the current system state.
+* :class:`QueueLengthRouter` (paper curve B): ship whenever the
+  (delayed) central CPU queue is shorter than the local one -- the
+  send-to-shortest-queue policy of the load-balancing literature.
+* :class:`ThresholdUtilizationRouter` (Figures 4.4 / 4.7): estimate
+  utilisations from the queue lengths (*excluding* the incoming
+  transaction -- no response time is being estimated, Section 3.2.4) and
+  ship when ``rho_local - rho_central > threshold``.  The optimal
+  threshold is negative for small communications delays (the faster
+  central CPU wins ties) and grows positive as the delay increases.
+"""
+
+from __future__ import annotations
+
+from ..analysis.mm1 import utilization_from_queue_length
+from ..db.transaction import Placement, Transaction
+from ..hybrid.config import SystemConfig
+from .router import Router, RoutingObservation
+
+__all__ = [
+    "MeasuredResponseTimeRouter",
+    "QueueLengthRouter",
+    "ThresholdUtilizationRouter",
+    "SenderInitiatedRouter",
+    "measured_response_router",
+    "queue_length_router",
+    "threshold_router_factory",
+    "sender_initiated_router_factory",
+]
+
+
+class MeasuredResponseTimeRouter(Router):
+    """Paper curve A: compare last-shipped vs last-local response times.
+
+    Both memories start at zero, which bootstraps exploration: the first
+    decision retains (tie), giving a local sample; as soon as the local
+    response time is positive the next transaction is shipped, giving a
+    shipped sample; thereafter the comparison is genuine.
+    """
+
+    name = "measured-response-time"
+
+    def __init__(self) -> None:
+        self.last_local_response = 0.0
+        self.last_shipped_response = 0.0
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        if self.last_shipped_response < self.last_local_response:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+    def observe_completion(self, txn: Transaction) -> None:
+        if txn.placement is Placement.SHIPPED:
+            self.last_shipped_response = txn.response_time
+        elif txn.placement is Placement.LOCAL:
+            self.last_local_response = txn.response_time
+
+
+class QueueLengthRouter(Router):
+    """Paper curve B: ship iff the central queue is strictly shorter.
+
+    Uses the *delayed* central queue length (updated only when protocol
+    messages arrive from the central site), exactly as the paper's
+    simulation does.
+    """
+
+    name = "queue-length"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        if observation.central.queue_length < observation.local_queue_length:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+class ThresholdUtilizationRouter(Router):
+    """Figures 4.4 / 4.7: ship when rho_local - rho_central > threshold.
+
+    Negative thresholds ship even when the local site looks *less*
+    utilised than the central site -- justified when the central MIPS
+    advantage outweighs the communications delay (0.2 s case, optimum
+    around -0.2); larger delays push the optimum positive-ward (0.5 s
+    case, optimum around +0.1).
+    """
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+        self.name = f"threshold({threshold:+.2f})"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        # Section 3.2.4: current utilisations, excluding the incoming
+        # transaction (no correction terms -- nothing is being estimated
+        # about the new transaction's response time).
+        rho_local = utilization_from_queue_length(
+            observation.local_queue_length)
+        rho_central = utilization_from_queue_length(
+            observation.central.queue_length)
+        if rho_local - rho_central > self.threshold:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+class SenderInitiatedRouter(Router):
+    """Sender-initiated threshold transfer (Eager/Lazowska/Zahorjan 1986).
+
+    The paper cites the [EAGE86A,B] "send-message threshold heuristics"
+    as the relevant load-balancing literature.  The classic
+    sender-initiated policy transfers a job when the *local* queue length
+    at arrival reaches a threshold ``T``, regardless of remote state --
+    the cheapest possible signal (no remote information at all).
+
+    Included as a literature baseline: it ignores the MIPS asymmetry,
+    the communication delay and data contention, which is precisely the
+    gap the paper's analytic schemes close.
+    """
+
+    def __init__(self, queue_threshold: int):
+        if queue_threshold < 1:
+            raise ValueError("queue threshold must be >= 1")
+        self.queue_threshold = queue_threshold
+        self.name = f"sender-initiated(T={queue_threshold})"
+
+    def decide(self, txn: Transaction,
+               observation: RoutingObservation) -> Placement:
+        if observation.local_queue_length >= self.queue_threshold:
+            return Placement.SHIPPED
+        return Placement.LOCAL
+
+
+def measured_response_router(config: SystemConfig, site: int) -> Router:
+    """Factory for paper curve A (per-site memory)."""
+    return MeasuredResponseTimeRouter()
+
+
+def queue_length_router(config: SystemConfig, site: int) -> Router:
+    """Factory for paper curve B."""
+    return QueueLengthRouter()
+
+
+def threshold_router_factory(threshold: float):
+    """Factory-of-factories for the thresholded heuristic."""
+
+    def factory(config: SystemConfig, site: int) -> Router:
+        return ThresholdUtilizationRouter(threshold)
+
+    return factory
+
+
+def sender_initiated_router_factory(queue_threshold: int = 2):
+    """Factory-of-factories for the sender-initiated baseline."""
+
+    def factory(config: SystemConfig, site: int) -> Router:
+        return SenderInitiatedRouter(queue_threshold)
+
+    return factory

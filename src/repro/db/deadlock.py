@@ -1,0 +1,117 @@
+"""Waits-for graph and cycle detection for deadlock handling.
+
+Each site's lock manager keeps a :class:`WaitsForGraph` of *transaction
+waits for transaction* edges.  Before queueing a blocked request the
+manager asks :meth:`WaitsForGraph.would_deadlock`: if adding the new
+edges closes a cycle, the requester is chosen as the victim (matching the
+paper's simulation: the transaction whose contention "leads into a
+deadlock" is aborted and releases all locks).
+
+The graph is tiny (bounded by the multiprogramming level), so a simple
+iterative DFS is both adequate and allocation-light.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+__all__ = ["WaitsForGraph"]
+
+
+class WaitsForGraph:
+    """Directed graph: edge u -> v means transaction u waits for v."""
+
+    def __init__(self) -> None:
+        self._edges: dict[int, set[int]] = defaultdict(set)
+
+    def add_waiter(self, waiter: int, blockers: Iterable[int]) -> None:
+        """Record that ``waiter`` now waits for each of ``blockers``."""
+        targets = self._edges[waiter]
+        for blocker in blockers:
+            if blocker != waiter:
+                targets.add(blocker)
+
+    def remove(self, txn_id: int) -> None:
+        """Remove a departing transaction and all edges touching it.
+
+        Use when the transaction leaves the lock table entirely (commit,
+        abort, cancelled waits).  For a waiter that was *granted* its
+        lock use :meth:`clear_waits` instead -- other transactions may
+        still be waiting on it, and those incoming edges must survive.
+        """
+        self._edges.pop(txn_id, None)
+        for targets in self._edges.values():
+            targets.discard(txn_id)
+
+    def clear_waits(self, txn_id: int) -> None:
+        """Drop only the *outgoing* edges of ``txn_id``.
+
+        Called when a queued request is granted: the transaction no
+        longer waits for anyone, but transactions queued behind it now
+        wait on it as a holder, so edges pointing *to* it stay intact.
+        (Removing them was a lost-deadlock bug found by protocol
+        fuzzing: grant A behind B's queue, then A requests something B
+        holds, and the B->A edge needed to close the cycle is gone.)
+        """
+        self._edges.pop(txn_id, None)
+
+    def waits_for(self, txn_id: int) -> frozenset[int]:
+        return frozenset(self._edges.get(txn_id, ()))
+
+    def would_deadlock(self, waiter: int,
+                       blockers: Iterable[int]) -> list[int] | None:
+        """Cycle that adding ``waiter -> blockers`` edges would create.
+
+        Returns the list of transactions on one such cycle (starting and
+        ending implicitly at ``waiter``), or ``None`` if the wait is safe.
+        The graph is *not* modified.
+        """
+        new_targets = {blocker for blocker in blockers if blocker != waiter}
+        if not new_targets:
+            return None
+        # A cycle through the new edges exists iff `waiter` is reachable
+        # from any of the new targets through existing edges.
+        for start in new_targets:
+            path = self._find_path(start, waiter)
+            if path is not None:
+                return path
+        return None
+
+    def _find_path(self, start: int, goal: int) -> list[int] | None:
+        """Iterative DFS path from ``start`` to ``goal`` (inclusive)."""
+        if start == goal:
+            return [start]
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            for successor in self._edges.get(node, ()):
+                if successor == goal:
+                    return path + [successor]
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, path + [successor]))
+        return None
+
+    def has_cycle(self) -> bool:
+        """Whether the current graph (without new edges) has any cycle."""
+        colour: dict[int, int] = {}  # 0 unseen / 1 in-progress / 2 done
+
+        def visit(node: int) -> bool:
+            colour[node] = 1
+            for successor in self._edges.get(node, ()):
+                state = colour.get(successor, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(successor):
+                    return True
+            colour[node] = 2
+            return False
+
+        return any(colour.get(node, 0) == 0 and visit(node)
+                   for node in list(self._edges))
+
+    def __len__(self) -> int:
+        """Number of transactions currently waiting."""
+        return sum(1 for targets in self._edges.values() if targets)

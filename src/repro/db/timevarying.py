@@ -1,0 +1,154 @@
+"""Time-varying arrival processes (load fluctuations).
+
+The paper motivates the hybrid architecture with workloads that "exhibit
+regional locality and load fluctuations".  The base experiments use
+stationary Poisson arrivals; this module adds the fluctuation dimension:
+a piecewise-constant rate profile per site, so scenarios like a morning
+ramp, a lunchtime dip or a regional surge can be simulated directly.
+
+:class:`RateProfile` maps simulated time to a rate multiplier;
+:class:`PiecewiseArrivalProcess` drives a site's arrivals from one.  The
+implementation uses thinning-free regeneration: on each segment boundary
+the exponential sampler's rate is re-derived, which is exact for
+piecewise-constant profiles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..sim.engine import Environment, Interrupt
+from ..sim.rng import RandomStreams
+from .transaction import Transaction
+from .workload import TransactionFactory
+
+__all__ = ["RateProfile", "PiecewiseArrivalProcess"]
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Piecewise-constant multiplier over simulated time.
+
+    ``breakpoints[i]`` is the time at which ``multipliers[i + 1]`` takes
+    effect; ``multipliers[0]`` applies from time zero.  The final
+    multiplier holds forever.
+    """
+
+    breakpoints: tuple[float, ...]
+    multipliers: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.multipliers) != len(self.breakpoints) + 1:
+            raise ValueError(
+                f"need {len(self.breakpoints) + 1} multipliers for "
+                f"{len(self.breakpoints)} breakpoints")
+        if any(m <= 0 for m in self.multipliers):
+            raise ValueError("multipliers must be positive")
+        if list(self.breakpoints) != sorted(set(self.breakpoints)):
+            raise ValueError("breakpoints must be strictly increasing")
+        if self.breakpoints and self.breakpoints[0] <= 0:
+            raise ValueError("breakpoints must be positive times")
+
+    @staticmethod
+    def constant(multiplier: float = 1.0) -> "RateProfile":
+        return RateProfile(breakpoints=(), multipliers=(multiplier,))
+
+    @staticmethod
+    def step(at: float, before: float, after: float) -> "RateProfile":
+        """Single step change at time ``at``."""
+        return RateProfile(breakpoints=(at,), multipliers=(before, after))
+
+    def multiplier_at(self, time: float) -> float:
+        index = bisect_right(self.breakpoints, time)
+        return self.multipliers[index]
+
+    def next_change_after(self, time: float) -> float:
+        """Next breakpoint strictly after ``time`` (inf if none)."""
+        index = bisect_right(self.breakpoints, time)
+        if index < len(self.breakpoints):
+            return self.breakpoints[index]
+        return float("inf")
+
+    def mean_multiplier(self, horizon: float) -> float:
+        """Time-average multiplier over ``[0, horizon]``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        total = 0.0
+        previous = 0.0
+        for index, breakpoint_ in enumerate(self.breakpoints):
+            if breakpoint_ >= horizon:
+                break
+            total += self.multipliers[index] * (breakpoint_ - previous)
+            previous = breakpoint_
+        total += self.multiplier_at(previous) * (horizon - previous)
+        return total / horizon
+
+
+class PiecewiseArrivalProcess:
+    """Poisson arrivals whose rate follows a :class:`RateProfile`.
+
+    For a piecewise-constant rate the exact sample path is obtained by
+    drawing unit-rate exponentials and scaling by the current segment's
+    rate, restarting the residual at each breakpoint (memorylessness
+    makes the restart exact).
+    """
+
+    def __init__(self, env: Environment, site: int,
+                 factory: TransactionFactory, streams: RandomStreams,
+                 submit: Callable[[Transaction], None],
+                 profile: RateProfile):
+        self.env = env
+        self.site = site
+        self.factory = factory
+        self.submit = submit
+        self.profile = profile
+        self._unit = streams.exponential(f"tv-arrivals-site-{site}",
+                                         rate=1.0)
+        self.generated = 0
+        self.process = env.process(self._run(),
+                                   name=f"tv-arrivals@{site}")
+
+    def _current_rate(self) -> float:
+        base = self.factory.params.site_rate(self.site)
+        return base * self.profile.multiplier_at(self.env.now)
+
+    def _run(self):
+        try:
+            while True:
+                rate = self._current_rate()
+                gap = self._unit() / rate
+                boundary = self.profile.next_change_after(self.env.now)
+                if self.env.now + gap > boundary:
+                    # Rate changes before the next arrival: jump to the
+                    # boundary and redraw (exact for exponentials).
+                    yield self.env.timeout(boundary - self.env.now)
+                    continue
+                yield self.env.timeout(gap)
+                txn = self.factory.make_transaction(self.site,
+                                                    self.env.now)
+                self.generated += 1
+                self.submit(txn)
+        except Interrupt:
+            return
+
+
+def attach_profiles(system, profiles: Sequence[RateProfile]):
+    """Replace a :class:`~repro.hybrid.system.HybridSystem`'s stationary
+    arrival processes with profile-driven ones.
+
+    Call *before* running the system.  Returns the new processes.
+    """
+    if len(profiles) != len(system.sites):
+        raise ValueError(
+            f"need {len(system.sites)} profiles, got {len(profiles)}")
+    replaced = []
+    for site, profile in zip(system.sites, profiles):
+        old = system.arrivals[site.site_id]
+        old.process.interrupt("replaced-by-profile")
+        replaced.append(PiecewiseArrivalProcess(
+            system.env, site.site_id, system.factory, system.streams,
+            submit=site.submit, profile=profile))
+    system.arrivals = replaced
+    return replaced

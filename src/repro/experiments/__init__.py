@@ -1,0 +1,46 @@
+"""Experiment harness: sweeps, per-figure specs, text reports, CLI."""
+
+from .figures import (
+    ALL_FIGURES,
+    BASE_RATES,
+    FigureData,
+    figure_4_1,
+    figure_4_2,
+    figure_4_3,
+    figure_4_4,
+    figure_4_5,
+    figure_4_6,
+    figure_4_7,
+)
+from .export import curve_rows, figure_to_csv, write_figure_csv
+from .report import curve_summary, figure_report, format_table, sparkline
+from .runner import Curve, CurvePoint, RunSettings, run_curve, run_point
+from .validation import ValidationPoint, ValidationReport, validate_model
+
+__all__ = [
+    "curve_rows",
+    "figure_to_csv",
+    "write_figure_csv",
+    "ValidationPoint",
+    "ValidationReport",
+    "validate_model",
+    "ALL_FIGURES",
+    "BASE_RATES",
+    "FigureData",
+    "figure_4_1",
+    "figure_4_2",
+    "figure_4_3",
+    "figure_4_4",
+    "figure_4_5",
+    "figure_4_6",
+    "figure_4_7",
+    "curve_summary",
+    "figure_report",
+    "format_table",
+    "sparkline",
+    "Curve",
+    "CurvePoint",
+    "RunSettings",
+    "run_curve",
+    "run_point",
+]

@@ -1,0 +1,151 @@
+"""Command-line entry point: reproduce any figure from the terminal.
+
+Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
+
+    hybriddb-experiment --figure 4.1
+    hybriddb-experiment --figure 4.4 --scale 0.5 --replications 2
+    hybriddb-experiment --figure all --scale 0.3
+    hybriddb-experiment --figure 4.3 --csv fig43.csv
+    hybriddb-experiment --validate
+    hybriddb-experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .export import write_figure_csv
+from .figures import ALL_FIGURES
+from .report import curve_summary, figure_report
+from .runner import RunSettings
+from .validation import validate_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hybriddb-experiment",
+        description="Reproduce the figures of 'Load Sharing in Hybrid "
+                    "Distributed-Centralized Database Systems' "
+                    "(Ciciani, Dias & Yu, ICDCS 1988).")
+    parser.add_argument("--figure",
+                        choices=sorted(ALL_FIGURES) + ["all"],
+                        help="which figure to reproduce ('all' runs the "
+                             "full evaluation section)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available figures and exit")
+    parser.add_argument("--validate", action="store_true",
+                        help="run the analytic-model-vs-simulator "
+                             "validation grid")
+    parser.add_argument("--scorecard", action="store_true",
+                        help="regenerate every figure and machine-check "
+                             "all of the paper's claims")
+    parser.add_argument("--sensitivity", metavar="PARAM",
+                        choices=["comm_delay", "central_mips", "p_local",
+                                 "n_sites"],
+                        help="sweep one system parameter (the conclusion "
+                             "section's dependencies)")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also write the figure's data as CSV")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="simulated-horizon scale factor (default 1.0; "
+                             "0.3 for a quick look)")
+    parser.add_argument("--replications", type=int, default=1,
+                        help="independent replications per point")
+    parser.add_argument("--seed", type=int, default=7_001,
+                        help="base random seed")
+    return parser
+
+
+def _run_figure(figure_id: str, settings: RunSettings,
+                csv_path: str | None) -> None:
+    started = time.time()
+    figure = ALL_FIGURES[figure_id](settings)
+    elapsed = time.time() - started
+    print(figure_report(figure))
+    print()
+    for curve in figure.curves:
+        print(curve_summary(curve))
+    if csv_path is not None:
+        target = write_figure_csv(figure, csv_path)
+        print(f"\n[data written to {target}]")
+    print(f"\n[{elapsed:.1f}s of wall-clock simulation]")
+
+
+def _run_validation(settings: RunSettings) -> None:
+    started = time.time()
+    report = validate_model(
+        warmup_time=25.0 * settings.scale,
+        measure_time=75.0 * settings.scale,
+        seed=settings.base_seed)
+    print("Analytic model vs discrete-event simulator")
+    print()
+    print(report.to_table())
+    print(f"\nmean |error| = {report.mean_abs_error:.1%}, "
+          f"max |error| = {report.max_abs_error:.1%}")
+    print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for figure_id, builder in sorted(ALL_FIGURES.items()):
+            doc = (builder.__doc__ or "").strip().splitlines()[0]
+            print(f"  {figure_id}: {doc}")
+        return 0
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    if args.replications < 1:
+        print("error: --replications must be >= 1", file=sys.stderr)
+        return 2
+    settings = RunSettings(replications=args.replications,
+                           base_seed=args.seed, scale=args.scale)
+    if args.validate:
+        _run_validation(settings)
+        if not args.figure and not args.scorecard:
+            return 0
+    if args.scorecard:
+        from .scorecard import run_scorecard
+
+        started = time.time()
+        card = run_scorecard(settings)
+        print(card.to_text())
+        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+        if not args.figure:
+            return 0 if card.all_essential_pass else 1
+    if args.sensitivity:
+        from .sensitivity import DEFAULT_SWEEPS, sweep_parameter
+
+        started = time.time()
+        sweep = sweep_parameter(
+            args.sensitivity, DEFAULT_SWEEPS[args.sensitivity],
+            warmup_time=20.0 * settings.scale + 5.0,
+            measure_time=60.0 * settings.scale + 10.0,
+            seed=settings.base_seed)
+        print(sweep.to_table())
+        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+        if not args.figure:
+            return 0
+    if not args.figure:
+        print("error: choose --figure, --validate, --scorecard, "
+              "--sensitivity or --list", file=sys.stderr)
+        return 2
+    if args.figure == "all":
+        if args.csv:
+            print("error: --csv works with a single figure",
+                  file=sys.stderr)
+            return 2
+        for figure_id in sorted(ALL_FIGURES):
+            _run_figure(figure_id, settings, None)
+            print("=" * 72)
+        return 0
+    _run_figure(args.figure, settings, args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

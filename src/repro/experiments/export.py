@@ -1,0 +1,61 @@
+"""CSV export of experiment results.
+
+``figure_to_csv`` flattens a :class:`~repro.experiments.figures.FigureData`
+into one row per (curve, rate) with every recorded metric, so reproduced
+figures can be re-plotted with any external tool.  Pure standard library
+(csv module), no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .figures import FigureData
+from .runner import Curve
+
+__all__ = ["curve_rows", "figure_to_csv", "write_figure_csv"]
+
+FIELDS = [
+    "figure", "curve", "comm_delay", "total_rate", "mean_response_time",
+    "throughput", "shipped_fraction", "abort_rate", "local_utilization",
+    "central_utilization",
+]
+
+
+def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
+    """Flatten one curve into CSV-ready dictionaries."""
+    rows = []
+    for point in curve.points:
+        rows.append({
+            "figure": figure_id,
+            "curve": curve.label,
+            "comm_delay": curve.comm_delay,
+            "total_rate": point.total_rate,
+            "mean_response_time": point.mean_response_time,
+            "throughput": point.throughput,
+            "shipped_fraction": point.shipped_fraction,
+            "abort_rate": point.abort_rate,
+            "local_utilization": point.local_utilization,
+            "central_utilization": point.central_utilization,
+        })
+    return rows
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Render a reproduced figure as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for curve in figure.curves:
+        for row in curve_rows(curve, figure_id=figure.figure_id):
+            writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_figure_csv(figure: FigureData, path: str | Path) -> Path:
+    """Write the CSV next to wherever the caller wants it; returns path."""
+    target = Path(path)
+    target.write_text(figure_to_csv(figure), encoding="utf-8")
+    return target

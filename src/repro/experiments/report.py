@@ -1,0 +1,114 @@
+"""Plain-text reporting of experiment results.
+
+The paper's figures are line plots; in a terminal reproduction the same
+information is rendered as aligned tables (one row per swept rate, one
+column per curve) plus an ASCII sparkline per curve for quick shape
+checks.  ``figure_report`` produces the full block the benchmarks and
+the CLI print.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .figures import FigureData
+from .runner import Curve, CurvePoint
+
+__all__ = ["format_table", "sparkline", "figure_report", "curve_summary"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Map a series to a coarse character ramp (for shape inspection)."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Align columns with two-space gutters."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(header.ljust(widths[i])
+                       for i, header in enumerate(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _metric_for(figure: FigureData) -> Callable[[CurvePoint], float]:
+    if "fraction" in figure.y_axis:
+        return lambda point: point.shipped_fraction
+    return lambda point: point.mean_response_time
+
+
+def figure_report(figure: FigureData) -> str:
+    """Render one reproduced figure as a text block.
+
+    When points carry multiple replications, each cell shows the mean
+    plus the 95% cross-replication half-width (``1.23±0.04``).
+    """
+    metric = _metric_for(figure)
+    rates = sorted({point.total_rate
+                    for curve in figure.curves for point in curve.points})
+    headers = ["rate(tps)"] + [curve.label for curve in figure.curves]
+    rows = []
+    for rate in rates:
+        row = [f"{rate:g}"]
+        for curve in figure.curves:
+            match = [point for point in curve.points
+                     if point.total_rate == rate]
+            if not match:
+                row.append("-")
+                continue
+            point = match[0]
+            cell = f"{metric(point):.3f}"
+            if len(point.replications) > 1 and \
+                    "fraction" not in figure.y_axis:
+                half = point.response_time_interval().half_width
+                cell += f"+-{half:.3f}"
+            row.append(cell)
+        rows.append(row)
+    lines = [
+        f"Figure {figure.figure_id}: {figure.title}",
+        f"  x: {figure.x_axis}",
+        f"  y: {figure.y_axis}",
+        "",
+        format_table(headers, rows),
+        "",
+        "shape:",
+    ]
+    for curve in figure.curves:
+        lines.append(f"  {curve.label:<24} "
+                     f"{sparkline([metric(p) for p in curve.points])}")
+    lines.append("")
+    lines.append("expected (from the paper):")
+    for expectation in figure.expectations:
+        lines.append(f"  - {expectation}")
+    return "\n".join(lines)
+
+
+def curve_summary(curve: Curve, response_limit: float = 4.0) -> str:
+    """One-line summary: supportable rate and best/worst response time."""
+    best = min(point.mean_response_time for point in curve.points)
+    worst = max(point.mean_response_time for point in curve.points)
+    supported = curve.max_supported_rate(response_limit)
+    return (f"{curve.label}: supports {supported:.1f} tps "
+            f"(RT<= {response_limit:g}s), RT range "
+            f"[{best:.2f}, {worst:.2f}]s")

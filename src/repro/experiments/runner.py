@@ -1,0 +1,170 @@
+"""Experiment execution: curves, sweeps and replication control.
+
+A *curve* is one strategy evaluated over a sweep of total arrival rates
+(the x-axis of every figure in the paper).  Each point runs the
+discrete-event simulation once per replication (common random numbers
+across strategies: replication ``r`` always uses ``base_seed + r``) and
+averages the replications.
+
+``RunSettings.scale`` shortens or lengthens the simulated horizon
+uniformly, so the same experiment definitions serve quick smoke tests
+(scale ~0.2), the default benchmark runs, and long high-confidence runs
+(scale >= 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..core import STRATEGIES
+from ..hybrid.config import SystemConfig, paper_config
+from ..hybrid.metrics import SimulationResult
+from ..hybrid.system import HybridSystem
+
+__all__ = ["RunSettings", "CurvePoint", "Curve", "run_point", "run_curve",
+           "StrategyBuilder"]
+
+#: ``name -> (config -> RouterFactory)`` -- the registry from repro.core,
+#: re-exported here so experiment definitions read naturally.
+StrategyBuilder = Callable[[SystemConfig], object]
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Horizon and replication control for experiment runs."""
+
+    warmup_time: float = 30.0
+    measure_time: float = 90.0
+    replications: int = 1
+    base_seed: int = 7_001
+    scale: float = 1.0
+
+    def config_for(self, total_rate: float, comm_delay: float,
+                   **overrides) -> SystemConfig:
+        return paper_config(
+            total_rate=total_rate,
+            comm_delay=comm_delay,
+            warmup_time=self.warmup_time * self.scale,
+            measure_time=self.measure_time * self.scale,
+            **overrides,
+        )
+
+    def scaled(self, factor: float) -> "RunSettings":
+        return replace(self, scale=self.scale * factor)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (rate, averaged metrics) point of a curve."""
+
+    total_rate: float
+    mean_response_time: float
+    throughput: float
+    shipped_fraction: float
+    abort_rate: float
+    local_utilization: float
+    central_utilization: float
+    replications: tuple[SimulationResult, ...] = field(repr=False,
+                                                       default=())
+
+    def response_time_interval(self, confidence: float = 0.95):
+        """Cross-replication confidence interval for the mean RT.
+
+        Returns an :class:`~repro.sim.stats.IntervalEstimate`; with a
+        single replication the half-width is zero (no variance
+        information).
+        """
+        from ..sim.stats import ReplicationSummary
+
+        summary = ReplicationSummary()
+        for result in self.replications:
+            summary.add_replication(result.mean_response_time)
+        if not self.replications:
+            summary.add_replication(self.mean_response_time)
+        return summary.interval(confidence)
+
+
+@dataclass(frozen=True)
+class Curve:
+    """One strategy swept over arrival rates."""
+
+    label: str
+    comm_delay: float
+    points: tuple[CurvePoint, ...]
+
+    @property
+    def rates(self) -> tuple[float, ...]:
+        return tuple(point.total_rate for point in self.points)
+
+    @property
+    def response_times(self) -> tuple[float, ...]:
+        return tuple(point.mean_response_time for point in self.points)
+
+    @property
+    def throughputs(self) -> tuple[float, ...]:
+        return tuple(point.throughput for point in self.points)
+
+    @property
+    def shipped_fractions(self) -> tuple[float, ...]:
+        return tuple(point.shipped_fraction for point in self.points)
+
+    def max_supported_rate(self, response_limit: float = 4.0) -> float:
+        """Largest swept rate whose mean RT stays under ``response_limit``.
+
+        The paper's "maximum transaction rate supportable" read off a
+        response-time-versus-throughput curve.
+        """
+        supported = 0.0
+        for point in self.points:
+            if point.mean_response_time <= response_limit:
+                supported = max(supported, point.throughput)
+        return supported
+
+
+def _average(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def run_point(strategy: str | StrategyBuilder, total_rate: float,
+              comm_delay: float = 0.2,
+              settings: RunSettings | None = None,
+              **config_overrides) -> CurvePoint:
+    """Run one strategy at one arrival rate (averaging replications)."""
+    settings = settings or RunSettings()
+    builder = STRATEGIES[strategy] if isinstance(strategy, str) else strategy
+    results: list[SimulationResult] = []
+    for replication in range(settings.replications):
+        config = settings.config_for(
+            total_rate, comm_delay,
+            seed=settings.base_seed + replication, **config_overrides)
+        router_factory = builder(config)
+        results.append(HybridSystem(config, router_factory).run())
+    return CurvePoint(
+        total_rate=total_rate,
+        mean_response_time=_average(
+            [r.mean_response_time for r in results]),
+        throughput=_average([r.throughput for r in results]),
+        shipped_fraction=_average([r.shipped_fraction for r in results]),
+        abort_rate=_average([r.abort_rate for r in results]),
+        local_utilization=_average(
+            [r.mean_local_utilization for r in results]),
+        central_utilization=_average(
+            [r.mean_central_utilization for r in results]),
+        replications=tuple(results),
+    )
+
+
+def run_curve(strategy: str | StrategyBuilder, rates: list[float],
+              label: str | None = None, comm_delay: float = 0.2,
+              settings: RunSettings | None = None,
+              **config_overrides) -> Curve:
+    """Sweep one strategy over arrival rates."""
+    settings = settings or RunSettings()
+    points = tuple(
+        run_point(strategy, rate, comm_delay=comm_delay,
+                  settings=settings, **config_overrides)
+        for rate in rates)
+    if label is None:
+        label = strategy if isinstance(strategy, str) else "custom"
+    return Curve(label=label, comm_delay=comm_delay, points=points)

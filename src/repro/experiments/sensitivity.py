@@ -1,0 +1,126 @@
+"""Sensitivity analysis over the system parameters.
+
+The paper's conclusions assert that the optimal behaviour "was found to
+depend on the communications delay, MIPS at local and central site,
+fraction of local transactions, and number of local systems" -- but the
+evaluation only varies the delay.  This harness makes the remaining
+dependencies measurable: it sweeps one parameter at a time around the
+base configuration and reports, per setting, the performance of a fixed
+reference strategy set plus the analytically optimal static shipping
+probability.
+
+Used by ``benchmarks/test_sensitivity.py``; each sweep returns plain
+dataclasses so tests can assert the direction of every dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..core import STRATEGIES, optimize_static
+from ..hybrid.config import SystemConfig, paper_config
+from ..hybrid.system import HybridSystem
+from .report import format_table
+
+__all__ = ["SensitivityPoint", "SensitivitySweep", "sweep_parameter"]
+
+#: Strategies every sensitivity point evaluates.
+REFERENCE_STRATEGIES = ("none", "static-optimal", "min-average-population")
+
+#: Default value grids per sweepable parameter (CLI --sensitivity).
+DEFAULT_SWEEPS: dict[str, tuple[float, ...]] = {
+    "comm_delay": (0.1, 0.2, 0.5, 0.8),
+    "central_mips": (8.0, 15.0, 30.0),
+    "p_local": (0.6, 0.75, 0.9),
+    "n_sites": (5, 10, 20),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One parameter setting: strategy outcomes plus the static optimum."""
+
+    parameter: str
+    value: float
+    optimal_p_ship: float
+    response_times: dict[str, float]
+    shipped_fractions: dict[str, float]
+
+
+@dataclass(frozen=True)
+class SensitivitySweep:
+    """A full one-parameter sweep."""
+
+    parameter: str
+    points: tuple[SensitivityPoint, ...]
+
+    def values(self) -> tuple[float, ...]:
+        return tuple(point.value for point in self.points)
+
+    def series(self, strategy: str) -> tuple[float, ...]:
+        return tuple(point.response_times[strategy]
+                     for point in self.points)
+
+    def optimal_p_ships(self) -> tuple[float, ...]:
+        return tuple(point.optimal_p_ship for point in self.points)
+
+    def to_table(self) -> str:
+        headers = ([self.parameter, "p_ship*"] +
+                   [f"RT:{name}" for name in REFERENCE_STRATEGIES])
+        rows = []
+        for point in self.points:
+            rows.append(
+                [f"{point.value:g}", f"{point.optimal_p_ship:.2f}"] +
+                [f"{point.response_times[name]:.3f}"
+                 for name in REFERENCE_STRATEGIES])
+        return format_table(headers, rows)
+
+
+def _configure(parameter: str, value: float,
+               base: SystemConfig) -> SystemConfig:
+    """Apply one swept parameter to the base configuration."""
+    if parameter == "comm_delay":
+        return base.with_options(comm_delay=value)
+    if parameter == "central_mips":
+        return base.with_options(central_mips=value)
+    if parameter == "p_local":
+        workload = replace(base.workload, p_local=value)
+        return base.with_options(workload=workload)
+    if parameter == "n_sites":
+        n_sites = int(value)
+        # Keep the *total* arrival rate constant as the site count
+        # changes (per-site rate adjusts), like-for-like comparison.
+        total = base.workload.total_arrival_rate
+        workload = replace(base.workload, n_sites=n_sites,
+                           arrival_rate_per_site=total / n_sites)
+        return base.with_options(workload=workload)
+    raise ValueError(f"unknown sweep parameter {parameter!r}")
+
+
+def sweep_parameter(parameter: str, values: Sequence[float],
+                    total_rate: float = 25.0,
+                    warmup_time: float = 20.0,
+                    measure_time: float = 60.0,
+                    seed: int = 11_011) -> SensitivitySweep:
+    """Sweep one parameter; everything else stays at the paper's base."""
+    points = []
+    for value in values:
+        base = paper_config(total_rate=total_rate,
+                            warmup_time=warmup_time,
+                            measure_time=measure_time, seed=seed)
+        config = _configure(parameter, value, base)
+        optimum = optimize_static(config)
+        response_times = {}
+        shipped_fractions = {}
+        for name in REFERENCE_STRATEGIES:
+            factory = STRATEGIES[name](config)
+            result = HybridSystem(config, factory).run()
+            response_times[name] = result.mean_response_time
+            shipped_fractions[name] = result.shipped_fraction
+        points.append(SensitivityPoint(
+            parameter=parameter, value=float(value),
+            optimal_p_ship=optimum.p_ship,
+            response_times=response_times,
+            shipped_fractions=shipped_fractions))
+    return SensitivitySweep(parameter=parameter, points=tuple(points))

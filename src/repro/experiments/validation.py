@@ -1,0 +1,118 @@
+"""Cross-validation of the analytic model against the simulator.
+
+The paper leans on its Section 3.1 analytic model twice: to find the
+optimal static shipping probability, and (in observation-driven form)
+inside the dynamic strategies.  [CIC87A,B] justified the collision
+methodology with simulation; this module provides the same check for
+this reproduction -- evaluate the model and the discrete-event simulator
+on a grid of (arrival rate, p_ship) points and report the response-time
+agreement.
+
+Used by ``benchmarks/test_model_validation.py`` and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import AnalyticModel
+from ..core.static import static_router_factory
+from ..hybrid.config import paper_config
+from ..hybrid.system import HybridSystem
+from .report import format_table
+
+__all__ = ["ValidationPoint", "ValidationReport", "validate_model"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (rate, p_ship) comparison."""
+
+    total_rate: float
+    p_ship: float
+    model_response: float
+    simulated_response: float
+    model_rho_local: float
+    simulated_rho_local: float
+    model_rho_central: float
+    simulated_rho_central: float
+
+    @property
+    def response_error(self) -> float:
+        """Relative error of the model's mean response time."""
+        if self.simulated_response == 0:
+            return float("inf")
+        return (self.model_response - self.simulated_response) / \
+            self.simulated_response
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Grid of comparisons plus aggregate error statistics."""
+
+    points: tuple[ValidationPoint, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(abs(point.response_error) for point in self.points)
+
+    @property
+    def mean_abs_error(self) -> float:
+        errors = [abs(point.response_error) for point in self.points]
+        return sum(errors) / len(errors)
+
+    def to_table(self) -> str:
+        headers = ["rate", "p_ship", "model RT", "sim RT", "err",
+                   "model rho_l", "sim rho_l", "model rho_c", "sim rho_c"]
+        rows = []
+        for point in self.points:
+            rows.append([
+                f"{point.total_rate:g}",
+                f"{point.p_ship:.2f}",
+                f"{point.model_response:.3f}",
+                f"{point.simulated_response:.3f}",
+                f"{point.response_error:+.1%}",
+                f"{point.model_rho_local:.2f}",
+                f"{point.simulated_rho_local:.2f}",
+                f"{point.model_rho_central:.2f}",
+                f"{point.simulated_rho_central:.2f}",
+            ])
+        return format_table(headers, rows)
+
+
+def validate_model(rates: tuple[float, ...] = (5.0, 10.0, 15.0, 20.0),
+                   p_ships: tuple[float, ...] = (0.0, 0.3, 0.6),
+                   comm_delay: float = 0.2,
+                   warmup_time: float = 25.0,
+                   measure_time: float = 75.0,
+                   seed: int = 4_242) -> ValidationReport:
+    """Compare model and simulator over a stable-load grid.
+
+    The grid deliberately stays below the lock-thrashing region: past
+    saturation neither the fixed point nor the finite-horizon simulation
+    estimates a meaningful steady state (the model reports
+    ``converged=False`` there).
+    """
+    points = []
+    for total_rate in rates:
+        config = paper_config(total_rate=total_rate, comm_delay=comm_delay,
+                              warmup_time=warmup_time,
+                              measure_time=measure_time, seed=seed)
+        model = AnalyticModel(config)
+        for p_ship in p_ships:
+            estimate = model.evaluate(
+                p_ship, config.workload.arrival_rate_per_site)
+            result = HybridSystem(
+                config, static_router_factory(p_ship)).run()
+            points.append(ValidationPoint(
+                total_rate=total_rate,
+                p_ship=p_ship,
+                model_response=estimate.response_average,
+                simulated_response=result.mean_response_time,
+                model_rho_local=estimate.contention.rho_local,
+                simulated_rho_local=result.mean_local_utilization,
+                model_rho_central=estimate.contention.rho_central,
+                simulated_rho_central=result.mean_central_utilization,
+            ))
+    return ValidationReport(points=tuple(points))

@@ -1,0 +1,65 @@
+"""Shared machinery for local and central site processors.
+
+A site owns a single CPU (the paper's sites are uniprocessors rated in
+MIPS) and a lock manager.  Transactions use the CPU in *bursts*: the
+paper specifies that "the CPU is released by a transaction when lock
+contention occurs, for each I/O, and for the communication to another
+site", which is exactly the request/hold/release pattern of
+:meth:`SiteBase.cpu_burst`.  CPU service times are deterministic,
+computed from instruction pathlengths and the site's MIPS rating (the
+paper stresses they are *not* exponentially distributed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..db.locks import LockManager
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import SystemConfig
+
+__all__ = ["SiteBase"]
+
+
+class SiteBase:
+    """Common CPU / lock-table behaviour of local and central sites."""
+
+    def __init__(self, env: Environment, config: "SystemConfig",
+                 mips: float, name: str):
+        self.env = env
+        self.config = config
+        self.mips = mips
+        self.name = name
+        self.cpu = Resource(env, capacity=1)
+        self.locks = LockManager(env, name=name)
+
+    def service_time(self, instructions: float) -> float:
+        """Deterministic CPU time for an instruction pathlength."""
+        return instructions / (self.mips * 1_000_000.0)
+
+    def cpu_burst(self, instructions: float):
+        """Process fragment: queue for the CPU, hold it, release it.
+
+        Use as ``yield from site.cpu_burst(n_instr)`` inside a process.
+        Zero-instruction bursts complete immediately without touching the
+        CPU queue.
+        """
+        if instructions <= 0:
+            return
+        with self.cpu.request() as grant:
+            yield grant
+            yield self.env.timeout(self.service_time(instructions))
+
+    def io_wait(self, seconds: float):
+        """Process fragment: a synchronous I/O (CPU is not held)."""
+        if seconds <= 0:
+            return
+        yield self.env.timeout(seconds)
+
+    @property
+    def cpu_queue_length(self) -> int:
+        """Jobs queued for plus running on the CPU (the paper's ``q``)."""
+        return self.cpu.queue_length

@@ -1,0 +1,361 @@
+"""Central computing complex: class B / shipped execution, coherency.
+
+The central site
+
+* executes class B and shipped class A transactions against its replica
+  of every regional database, under local two-phase locking;
+* applies asynchronous update batches from the distributed sites in
+  per-site FIFO order, invalidating (marking for abort) any central
+  transactions holding locks on the updated entities, and acknowledging
+  each batch so the origin site can decrement its coherence counts;
+* drives the authentication phase at commit: it sends the lock list
+  simultaneously to every involved master site, awaits all replies,
+  re-executes on any negative acknowledgement or late invalidation, and
+  otherwise distributes commit orders and the response message.
+
+Every message it sends to a site piggybacks a :class:`CentralSnapshot`,
+the mechanism by which (delayed) central state reaches the routers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..db.locks import DeadlockError, LockMode
+from ..db.replica import ReplicaStore
+from ..db.transaction import Placement, Transaction
+from ..db.workload import LockSpacePartition
+from ..sim.engine import Environment, Event
+from ..sim.network import Link, Message
+from .base import SiteBase
+from .protocol import (
+    AuthReply,
+    AuthRequest,
+    CentralSnapshot,
+    CommitOrder,
+    ReleaseOrder,
+    RemoteCommit,
+    RemoteInvalidate,
+    RemoteLockReply,
+    RemoteLockRequest,
+    RemoteRelease,
+    TxnShipment,
+    UpdateAck,
+    UpdatePropagation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import SystemConfig
+    from .metrics import MetricsCollector
+    from .system import HybridSystem
+
+__all__ = ["CentralSite"]
+
+
+@dataclass
+class _PendingAuth:
+    """Bookkeeping for one in-progress authentication round."""
+
+    event: Event
+    expected: int
+    replies: list[AuthReply] = field(default_factory=list)
+
+
+class CentralSite(SiteBase):
+    """The central computing complex of the hybrid architecture."""
+
+    def __init__(self, env: Environment, config: "SystemConfig",
+                 system: "HybridSystem", partition: LockSpacePartition):
+        super().__init__(env, config, config.central_mips, name="central")
+        self.system = system
+        self.partition = partition
+        self.metrics: "MetricsCollector" = system.metrics
+
+        #: Class B and shipped class A transactions currently at central.
+        self.active: dict[int, Transaction] = {}
+        #: Central replica of every regional database (update counters).
+        self.data = ReplicaStore(name="central")
+        self.to_sites: list[Link] = []
+        self.from_sites: list[Link] = []
+
+        self._auth_ids = itertools.count(1)
+        self._pending_auth: dict[int, _PendingAuth] = {}
+        #: Distributed-mode transactions holding remote locks here:
+        #: txn_id -> home site (for invalidation notices).
+        self._remote_holders: dict[int, int] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_links(self, to_sites: list[Link],
+                     from_sites: list[Link]) -> None:
+        self.to_sites = to_sites
+        self.from_sites = from_sites
+        for site_id, link in enumerate(from_sites):
+            self.env.process(self._dispatch(site_id, link),
+                             name=f"central:dispatch-{site_id}")
+
+    def snapshot(self) -> CentralSnapshot:
+        """Sample the observable central state (piggybacked on messages)."""
+        return CentralSnapshot(
+            time=self.env.now,
+            queue_length=self.cpu_queue_length,
+            n_txns=len(self.active),
+            locks_held=self.locks.total_locks_held(),
+        )
+
+    def _send(self, site: int, kind: str, payload) -> None:
+        self.metrics.record_message(to_central=False)
+        self.to_sites[site].send(Message(kind=kind, source="central",
+                                         payload=payload))
+
+    # -- inbound message handling ------------------------------------------------
+
+    def _dispatch(self, site_id: int, link: Link):
+        """Per-site inbound loop.
+
+        Update batches are applied *inline* (one at a time) so that the
+        protocol's per-site FIFO processing requirement holds even though
+        applying a batch consumes CPU.
+        """
+        while True:
+            message = yield link.mailbox.get()
+            payload = message.payload
+            if isinstance(payload, TxnShipment):
+                self.admit(payload.txn)
+            elif isinstance(payload, UpdatePropagation):
+                yield from self._apply_updates(payload)
+            elif isinstance(payload, AuthReply):
+                self._collect_auth_reply(payload)
+            elif isinstance(payload, RemoteLockRequest):
+                self.env.process(self._handle_remote_lock(payload),
+                                 name=f"central:remote-lock-{site_id}")
+            elif isinstance(payload, RemoteCommit):
+                self._handle_remote_commit(payload)
+            elif isinstance(payload, RemoteRelease):
+                self._handle_remote_release(payload)
+            else:
+                raise TypeError(f"unexpected payload {payload!r}")
+
+    def admit(self, txn: Transaction) -> None:
+        """Start executing a shipped class A or class B transaction."""
+        self.env.process(self._run_central(txn),
+                         name=f"txn-{txn.txn_id}@central")
+
+    def _apply_updates(self, propagation: UpdatePropagation):
+        """Apply an asynchronous update batch (Section 2).
+
+        Locks at the central site on the updated data are invalidated:
+        the transactions holding them are marked for abort (they discover
+        the mark at their commit check).  The batch is then acknowledged.
+        """
+        yield from self.cpu_burst(self.config.instr_update_apply *
+                                  len(propagation.updates))
+        self.data.apply_updates(propagation.entities)
+        notified_remote: set[int] = set()
+        for entity in propagation.entities:
+            for holder_id in list(self.locks.held_modes(entity)):
+                victim = self.active.get(holder_id)
+                if victim is not None and not victim.marked_for_abort:
+                    victim.mark_for_abort("invalidated-by-update")
+                elif victim is None and holder_id in self._remote_holders \
+                        and holder_id not in notified_remote:
+                    # A distributed-mode transaction holds this entity
+                    # remotely: notify its home site to mark it.
+                    notified_remote.add(holder_id)
+                    self._send(self._remote_holders[holder_id],
+                               "remote-invalidate", RemoteInvalidate(
+                                   txn_id=holder_id,
+                                   snapshot=self.snapshot()))
+        self._send(propagation.source_site, "update-ack",
+                   UpdateAck(updates=propagation.updates,
+                             snapshot=self.snapshot()))
+
+    # -- remote-call data server (fully distributed class B mode) ------------
+
+    def _handle_remote_lock(self, request: RemoteLockRequest):
+        """Lock the entity on behalf of a distributed transaction and
+        return the datum (a deadlock refusal is reported, not raised)."""
+        yield from self.cpu_burst(self.config.instr_per_db_call)
+        grant = self.locks.acquire(request.txn_id, request.entity,
+                                   request.mode)
+        granted = True
+        try:
+            yield grant
+        except DeadlockError:
+            granted = False
+        if granted:
+            self._remote_holders[request.txn_id] = request.site
+        self._send(request.site, "remote-reply", RemoteLockReply(
+            call_id=request.call_id, txn_id=request.txn_id,
+            granted=granted, snapshot=self.snapshot()))
+
+    def _handle_remote_commit(self, commit: RemoteCommit) -> None:
+        """Apply a distributed commit's non-local updates and forward
+        them to the owning master sites; release the remote locks."""
+        self.locks.release_all(commit.txn_id)
+        self._remote_holders.pop(commit.txn_id, None)
+        if not commit.updates:
+            return
+        self.data.apply_updates(commit.updates)
+        by_owner: dict[int, list[int]] = {}
+        for entity in commit.updates:
+            owner = self.partition.owner(entity)
+            if owner is not None:
+                by_owner.setdefault(owner, []).append(entity)
+        for owner, entities in by_owner.items():
+            self._send(owner, "commit", CommitOrder(
+                txn_id=commit.txn_id, snapshot=self.snapshot(),
+                updates=tuple(entities)))
+
+    def _handle_remote_release(self, release: RemoteRelease) -> None:
+        self.locks.release_all(release.txn_id)
+        self._remote_holders.pop(release.txn_id, None)
+
+    def _collect_auth_reply(self, reply: AuthReply) -> None:
+        pending = self._pending_auth.get(reply.auth_id)
+        if pending is None:
+            raise RuntimeError(f"unknown auth round {reply.auth_id}")
+        pending.replies.append(reply)
+        if len(pending.replies) == pending.expected:
+            del self._pending_auth[reply.auth_id]
+            pending.event.succeed(pending.replies)
+
+    # -- central transaction execution ----------------------------------------------
+
+    def _run_central(self, txn: Transaction):
+        config = self.config
+        self.active[txn.txn_id] = txn
+        try:
+            while True:
+                txn.begin_run(self.env.now)
+                first_run = txn.run_count == 1
+                if first_run:
+                    yield from self.io_wait(config.io_initial)
+                yield from self.cpu_burst(config.instr_txn_overhead)
+                try:
+                    yield from self._execute_calls(txn, first_run)
+                except DeadlockError:
+                    txn.record_abort(deadlock=True)
+                    self.metrics.record_abort(txn, "deadlock")
+                    self.locks.release_all(txn.txn_id)
+                    txn.locked_entities.clear()
+                    continue
+                # Commit check: invalidated by asynchronous updates?
+                if txn.marked_for_abort:
+                    self._abort_invalidated(txn)
+                    continue
+                committed = yield from self._authenticate_and_commit(txn)
+                if committed:
+                    return
+        finally:
+            self.active.pop(txn.txn_id, None)
+
+    def _execute_calls(self, txn: Transaction, first_run: bool):
+        config = self.config
+        for reference in txn.references:
+            if not self.locks.is_held_by(reference.entity, txn.txn_id):
+                grant = self.locks.acquire(txn.txn_id, reference.entity,
+                                           reference.mode)
+                yield grant
+                txn.locked_entities.append(reference.entity)
+            yield from self.cpu_burst(config.instr_per_db_call)
+            if first_run:
+                yield from self.io_wait(config.io_per_db_call)
+
+    def _abort_invalidated(self, txn: Transaction) -> None:
+        txn.record_abort()
+        self.metrics.record_abort(txn, "central-invalidated")
+        if not self.config.keep_locks_on_abort:
+            self.locks.release_all(txn.txn_id)
+            txn.locked_entities.clear()
+
+    def _masters_of(self, txn: Transaction) -> dict[int, list]:
+        """Group the transaction's references by master site.
+
+        Shipped class A transactions involve only their source site; class
+        B transactions involve the owner of every referenced entity.
+        Entities in the unowned tail of the lock space have no master and
+        need no authentication.
+        """
+        by_site: dict[int, list] = {}
+        for reference in txn.references:
+            owner = self.partition.owner(reference.entity)
+            if owner is None:
+                continue
+            by_site.setdefault(owner, []).append(
+                (reference.entity, reference.mode))
+        if txn.placement is Placement.SHIPPED:
+            # All of a class A transaction's data is mastered at its home
+            # site by construction; assert rather than trust.
+            assert set(by_site) <= {txn.home_site}
+        return by_site
+
+    def _authenticate_and_commit(self, txn: Transaction):
+        """Authentication phase, final validation, commit, response.
+
+        Returns True when the transaction committed; False to re-execute
+        (negative acknowledgement or late invalidation).
+        """
+        config = self.config
+        yield from self.cpu_burst(config.instr_auth_central)
+        masters = self._masters_of(txn)
+        if masters:
+            auth_id = next(self._auth_ids)
+            done = Event(self.env)
+            self._pending_auth[auth_id] = _PendingAuth(
+                event=done, expected=len(masters))
+            for site, references in masters.items():
+                self._send(site, "auth-request", AuthRequest(
+                    auth_id=auth_id, txn_id=txn.txn_id,
+                    references=tuple(references),
+                    snapshot=self.snapshot()))
+            replies = yield done
+            if not all(reply.granted for reply in replies):
+                # Some master answered NAK: release any granted locks and
+                # re-execute (the paper: "it re-executes the transaction
+                # and repeats the process").
+                self.metrics.record_negative_ack()
+                self._release_masters(txn, masters)
+                txn.record_abort()
+                return False
+        # Final validation: were our locks invalidated by asynchronous
+        # updates while we were authenticating?
+        if txn.marked_for_abort:
+            self._release_masters(txn, masters)
+            self._abort_invalidated(txn)
+            return False
+        yield from self.cpu_burst(config.instr_commit)
+        if txn.marked_for_abort:
+            # Invalidated during commit processing, before the commit
+            # message is sent -- still safe to re-execute.
+            self._release_masters(txn, masters)
+            self._abort_invalidated(txn)
+            return False
+        # Apply the transaction's updates to the central replica and
+        # distribute per-master commit orders carrying the update lists.
+        self.data.apply_updates(txn.update_entities)
+        for site, references in masters.items():
+            site_updates = tuple(entity for entity, mode in references
+                                 if mode is LockMode.EXCLUSIVE)
+            self._send(site, "commit", CommitOrder(
+                txn_id=txn.txn_id, snapshot=self.snapshot(),
+                updates=site_updates))
+        self.locks.release_all(txn.txn_id)
+        txn.locked_entities.clear()
+        # The transaction no longer occupies the central site; the output
+        # message travels back to the user's region.
+        self.active.pop(txn.txn_id, None)
+        yield self.env.timeout(config.comm_delay)
+        txn.complete(self.env.now)
+        self.metrics.record_completion(txn)
+        if txn.placement is Placement.SHIPPED:
+            self.system.sites[txn.home_site].on_shipped_response(txn)
+        return True
+
+    def _release_masters(self, txn: Transaction,
+                         masters: dict[int, list]) -> None:
+        for site in masters:
+            self._send(site, "release", ReleaseOrder(
+                txn_id=txn.txn_id, snapshot=self.snapshot()))

@@ -1,0 +1,446 @@
+"""Local (distributed) site: class A execution and master-site protocol.
+
+A local site
+
+* receives the arrival stream for its region, routes each class A
+  transaction (retain or ship) by consulting its :class:`~repro.core.router.Router`,
+  and ships every class B transaction;
+* runs retained class A transactions under strict two-phase locking with
+  the paper's commit rule: check the abort mark, release locks, increment
+  coherence counts, and send the update propagation message
+  *asynchronously* (the transaction completes without waiting);
+* acts as the *master* in the authentication phase of central/shipped
+  transactions: answers NAK when coherence counts are non-zero, grants
+  locks (evicting and marking incompatible local holders for abort)
+  otherwise, and applies commit/release orders;
+* maintains the newest :class:`CentralSnapshot` gleaned from incoming
+  central messages -- the (delayed) central state the dynamic routing
+  strategies consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..db.locks import DeadlockError, LockMode
+from ..db.replica import ReplicaStore
+from ..db.transaction import Placement, Reference, Transaction, \
+    TransactionClass
+from ..sim.engine import Environment, Event
+from ..sim.network import Link, Message
+from .base import SiteBase
+from .protocol import (
+    AuthReply,
+    AuthRequest,
+    CentralSnapshot,
+    CommitOrder,
+    ReleaseOrder,
+    RemoteCommit,
+    RemoteInvalidate,
+    RemoteLockReply,
+    RemoteLockRequest,
+    RemoteRelease,
+    TxnShipment,
+    UpdateAck,
+    UpdatePropagation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.router import Router
+    from .config import SystemConfig
+    from .metrics import MetricsCollector
+    from .system import HybridSystem
+
+__all__ = ["LocalSite"]
+
+
+class LocalSite(SiteBase):
+    """One geographically distributed system of the hybrid architecture."""
+
+    def __init__(self, env: Environment, site_id: int,
+                 config: "SystemConfig", system: "HybridSystem",
+                 router: "Router"):
+        super().__init__(env, config, config.local_mips,
+                         name=f"site-{site_id}")
+        self.site_id = site_id
+        self.system = system
+        self.router = router
+        self.metrics: "MetricsCollector" = system.metrics
+
+        #: Class A transactions currently running at this site.
+        self.active: dict[int, Transaction] = {}
+        #: Master replica of this region's data (update counters).
+        self.data = ReplicaStore(name=f"site-{site_id}")
+        #: Transactions shipped from this site and not yet responded.
+        self.shipped_in_flight = 0
+        #: Newest central state heard via protocol messages.
+        self.central_snapshot = CentralSnapshot.empty()
+
+        # Links are attached by the system after both endpoints exist.
+        self.to_central: Link | None = None
+        self.from_central: Link | None = None
+
+        self._update_buffer: list[tuple[int, ...]] = []
+        # Remote-call bookkeeping (fully distributed class B mode).
+        self._remote_call_ids = 0
+        self._pending_remote_calls: dict[int, "Event"] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_links(self, to_central: Link, from_central: Link) -> None:
+        self.to_central = to_central
+        self.from_central = from_central
+        self.env.process(self._dispatch(), name=f"{self.name}:dispatch")
+        if self.config.update_batching > 1:
+            self.env.process(self._flush_loop(),
+                             name=f"{self.name}:flush")
+
+    # -- arrival handling --------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> None:
+        """Entry point for the arrival process."""
+        if txn.txn_class is TransactionClass.B:
+            if self.config.class_b_mode == "remote-call":
+                txn.route(Placement.DISTRIBUTED)
+                self.metrics.record_routing(txn)
+                self.env.process(self._run_distributed(txn),
+                                 name=f"txn-{txn.txn_id}@{self.name}:dist")
+            else:
+                txn.route(Placement.CENTRAL)
+                self.metrics.record_routing(txn)
+                self._ship(txn)
+            return
+        decision = self.router.decide(txn, self.observe())
+        txn.route(decision)
+        self.metrics.record_routing(txn)
+        if decision is Placement.LOCAL:
+            self.env.process(self._run_local(txn),
+                             name=f"txn-{txn.txn_id}@{self.name}")
+        else:
+            self.shipped_in_flight += 1
+            self._ship(txn)
+
+    def observe(self):
+        """Build the routing observation (exact local, delayed central)."""
+        from ..core.router import RoutingObservation
+        central = (self.system.central.snapshot()
+                   if self.config.instant_central_state
+                   else self.central_snapshot)
+        return RoutingObservation(
+            now=self.env.now,
+            site=self.site_id,
+            local_queue_length=self.cpu_queue_length,
+            local_n_txns=len(self.active),
+            local_locks_held=self.locks.total_locks_held(),
+            shipped_in_flight=self.shipped_in_flight,
+            central=central,
+        )
+
+    def _ship(self, txn: Transaction) -> None:
+        self.metrics.record_message(to_central=True)
+        self.to_central.send(Message(kind="txn", source=self.site_id,
+                                     payload=TxnShipment(txn)))
+
+    def on_shipped_response(self, txn: Transaction) -> None:
+        """The central site delivered the response for a shipped class A."""
+        self.shipped_in_flight -= 1
+        self.router.observe_completion(txn)
+
+    # -- local class A execution ----------------------------------------------
+
+    def _run_local(self, txn: Transaction):
+        config = self.config
+        self.active[txn.txn_id] = txn
+        try:
+            while True:
+                txn.begin_run(self.env.now)
+                first_run = txn.run_count == 1
+                if first_run:
+                    yield from self.io_wait(config.io_initial)
+                yield from self.cpu_burst(config.instr_txn_overhead)
+                try:
+                    yield from self._execute_calls(txn, first_run)
+                except DeadlockError:
+                    self._abort_deadlock(txn)
+                    continue
+                # Commit time: first check the abort mark set by committed
+                # shipped/central transactions (Section 2).
+                if txn.marked_for_abort:
+                    self._abort_invalidated(txn)
+                    continue
+                yield from self.cpu_burst(config.instr_commit)
+                # Re-check after commit processing: an authentication may
+                # have evicted us while we held the CPU for the commit
+                # burst; the check and the release must be atomic with
+                # respect to authentication handling.
+                if txn.marked_for_abort:
+                    self._abort_invalidated(txn)
+                    continue
+                self._commit(txn)
+                return
+        finally:
+            self.active.pop(txn.txn_id, None)
+
+    def _execute_calls(self, txn: Transaction, first_run: bool):
+        """The ten database calls: lock, CPU burst, data I/O."""
+        config = self.config
+        for reference in txn.references:
+            if not self.locks.is_held_by(reference.entity, txn.txn_id):
+                grant = self.locks.acquire(txn.txn_id, reference.entity,
+                                           reference.mode)
+                yield grant  # raises DeadlockError on a cycle
+                txn.locked_entities.append(reference.entity)
+            yield from self.cpu_burst(config.instr_per_db_call)
+            if first_run:
+                yield from self.io_wait(config.io_per_db_call)
+
+    def _abort_deadlock(self, txn: Transaction) -> None:
+        """Deadlock victim: release *all* locks (Section 4.1) and re-run."""
+        txn.record_abort(deadlock=True)
+        self.metrics.record_abort(txn, "deadlock")
+        self.locks.release_all(txn.txn_id)
+        txn.locked_entities.clear()
+
+    def _abort_invalidated(self, txn: Transaction) -> None:
+        """Aborted by a committed central/shipped transaction."""
+        txn.record_abort()
+        self.metrics.record_abort(txn, "local-invalidated")
+        if not self.config.keep_locks_on_abort:
+            self.locks.release_all(txn.txn_id)
+            txn.locked_entities.clear()
+        # Under the paper's modelling assumption surviving locks are kept;
+        # entities taken by the authenticating transaction were already
+        # removed from ``locked_entities`` during eviction.
+
+    def _commit(self, txn: Transaction) -> None:
+        """Release locks, start asynchronous propagation, complete."""
+        self.locks.release_all(txn.txn_id)
+        txn.locked_entities.clear()
+        updates = txn.update_entities
+        if updates:
+            self.data.apply_updates(updates)
+            for entity in updates:
+                self.locks.increment_coherence(entity)
+            self._queue_update(updates)
+        txn.complete(self.env.now)
+        self.metrics.record_completion(txn)
+        self.router.observe_completion(txn)
+
+    def _queue_update(self, updates: tuple[int, ...]) -> None:
+        """Send (or batch) the asynchronous update propagation message."""
+        self._update_buffer.append(updates)
+        if len(self._update_buffer) >= self.config.update_batching:
+            self._flush_updates()
+
+    def _flush_updates(self) -> None:
+        if not self._update_buffer:
+            return
+        batch = tuple(self._update_buffer)
+        self._update_buffer.clear()
+        self.metrics.record_message(to_central=True)
+        self.to_central.send(Message(
+            kind="update", source=self.site_id,
+            payload=UpdatePropagation(self.site_id, batch)))
+
+    def _flush_loop(self):
+        """Periodic flush so partial batches are never stranded."""
+        interval = self.config.update_flush_interval
+        while True:
+            yield self.env.timeout(interval)
+            self._flush_updates()
+
+    # -- fully distributed class B execution (remote-call mode) -----------------
+
+    def _split_references(self, txn: Transaction) -> tuple[list, list]:
+        """Home-partition references first, remote references second.
+
+        The two-phase ordering (all local locks before any remote lock)
+        prevents cross-site deadlock: a transaction holding remote locks
+        never waits for a local one, so every wait cycle is confined to
+        a single lock table, where the per-site detectors see it.
+        """
+        low, high = self.system.partition.site_range(self.site_id)
+        local_refs = [ref for ref in txn.references
+                      if low <= ref.entity < high]
+        remote_refs = [ref for ref in txn.references
+                       if not low <= ref.entity < high]
+        return local_refs, remote_refs
+
+    def _run_distributed(self, txn: Transaction):
+        """Run a class B transaction here, with remote calls for
+        non-local data (the introduction's fully distributed mode)."""
+        config = self.config
+        local_refs, remote_refs = self._split_references(txn)
+        remote_locked: set[int] = set()
+        self.active[txn.txn_id] = txn
+        try:
+            while True:
+                txn.begin_run(self.env.now)
+                first_run = txn.run_count == 1
+                if first_run:
+                    yield from self.io_wait(config.io_initial)
+                yield from self.cpu_burst(config.instr_txn_overhead)
+                try:
+                    # Phase 1: home-partition data under local locking.
+                    for reference in local_refs:
+                        if not self.locks.is_held_by(reference.entity,
+                                                     txn.txn_id):
+                            yield self.locks.acquire(
+                                txn.txn_id, reference.entity,
+                                reference.mode)
+                            txn.locked_entities.append(reference.entity)
+                        yield from self.cpu_burst(config.instr_per_db_call)
+                        if first_run:
+                            yield from self.io_wait(config.io_per_db_call)
+                    # Phase 2: remote data from the central server.
+                    for reference in remote_refs:
+                        if reference.entity not in remote_locked:
+                            granted = yield from self._remote_call(
+                                txn, reference)
+                            if not granted:
+                                raise DeadlockError(txn.txn_id,
+                                                    reference.entity)
+                            remote_locked.add(reference.entity)
+                        yield from self.cpu_burst(config.instr_per_db_call)
+                except DeadlockError:
+                    txn.record_abort(deadlock=True)
+                    self.metrics.record_abort(txn, "deadlock")
+                    self.locks.release_all(txn.txn_id)
+                    txn.locked_entities.clear()
+                    if remote_locked:
+                        self._send_remote(RemoteRelease(
+                            txn_id=txn.txn_id, site=self.site_id),
+                            kind="remote-release")
+                        remote_locked.clear()
+                    continue
+                if txn.marked_for_abort:
+                    self._abort_invalidated(txn)
+                    continue
+                yield from self.cpu_burst(config.instr_commit)
+                if txn.marked_for_abort:
+                    self._abort_invalidated(txn)
+                    continue
+                self._commit_distributed(txn, remote_locked)
+                return
+        finally:
+            self.active.pop(txn.txn_id, None)
+
+    def _remote_call(self, txn: Transaction, reference: Reference):
+        """Synchronous lock-and-fetch round trip to the data server."""
+        self._remote_call_ids += 1
+        call_id = self._remote_call_ids
+        done = Event(self.env)
+        self._pending_remote_calls[call_id] = done
+        self._send_remote(RemoteLockRequest(
+            call_id=call_id, txn_id=txn.txn_id, site=self.site_id,
+            entity=reference.entity, mode=reference.mode),
+            kind="remote-lock")
+        reply = yield done
+        return reply.granted
+
+    def _send_remote(self, payload, kind: str) -> None:
+        self.metrics.record_message(to_central=True)
+        self.to_central.send(Message(kind=kind, source=self.site_id,
+                                     payload=payload))
+
+    def _commit_distributed(self, txn: Transaction,
+                            remote_locked: set[int]) -> None:
+        """Commit: local part like a class A commit, remote part via the
+        data server (which forwards updates to the owning masters)."""
+        low, high = self.system.partition.site_range(self.site_id)
+        self.locks.release_all(txn.txn_id)
+        txn.locked_entities.clear()
+        home_updates = tuple(entity for entity in txn.update_entities
+                             if low <= entity < high)
+        remote_updates = tuple(entity for entity in txn.update_entities
+                               if not low <= entity < high)
+        if home_updates:
+            self.data.apply_updates(home_updates)
+            for entity in home_updates:
+                self.locks.increment_coherence(entity)
+            self._queue_update(home_updates)
+        if remote_locked or remote_updates:
+            self._send_remote(RemoteCommit(
+                txn_id=txn.txn_id, site=self.site_id,
+                updates=remote_updates), kind="remote-commit")
+        txn.complete(self.env.now)
+        self.metrics.record_completion(txn)
+
+    # -- master-site protocol ------------------------------------------------------
+
+    def _dispatch(self):
+        """Handle central -> site messages in arrival order."""
+        while True:
+            message = yield self.from_central.mailbox.get()
+            payload = message.payload
+            snapshot = getattr(payload, "snapshot", None)
+            # Section 4.2: by default the sites learn central state only
+            # from authentication-phase traffic, not from the (far more
+            # frequent) asynchronous-update acknowledgements.
+            usable = (not isinstance(payload, UpdateAck) or
+                      self.config.snapshot_on_update_acks)
+            if snapshot is not None and usable and \
+                    snapshot.time > self.central_snapshot.time:
+                self.central_snapshot = snapshot
+            if isinstance(payload, AuthRequest):
+                # Authentication checks consume local CPU; handle in a
+                # child process so unrelated messages are not blocked.
+                self.env.process(self._handle_auth(payload),
+                                 name=f"{self.name}:auth")
+            elif isinstance(payload, CommitOrder):
+                self._handle_commit_order(payload)
+            elif isinstance(payload, ReleaseOrder):
+                self._handle_release_order(payload)
+            elif isinstance(payload, UpdateAck):
+                self._handle_update_ack(payload)
+            elif isinstance(payload, RemoteLockReply):
+                pending = self._pending_remote_calls.pop(payload.call_id)
+                pending.succeed(payload)
+            elif isinstance(payload, RemoteInvalidate):
+                victim = self.active.get(payload.txn_id)
+                if victim is not None and not victim.marked_for_abort:
+                    victim.mark_for_abort("remote-lock-invalidated")
+            else:
+                raise TypeError(f"unexpected payload {payload!r}")
+
+    def _handle_auth(self, request: AuthRequest):
+        """Authentication phase at the master site (Section 2)."""
+        yield from self.cpu_burst(self.config.instr_auth_master)
+        entities = [entity for entity, _mode in request.references]
+        aborted: list[int] = []
+        if any(self.locks.coherence_count(entity) for entity in entities):
+            granted = False  # in-flight asynchronous updates -> NAK
+        else:
+            granted = True
+            for entity, mode in request.references:
+                evicted = self.locks.force_grant(request.txn_id, entity,
+                                                 mode)
+                for victim_id in evicted:
+                    victim = self.active.get(victim_id)
+                    if victim is not None:
+                        victim.mark_for_abort("invalidated-by-authentication")
+                        if entity in victim.locked_entities:
+                            victim.locked_entities.remove(entity)
+                        aborted.append(victim_id)
+        self.metrics.record_message(to_central=True)
+        self.to_central.send(Message(
+            kind="auth-reply", source=self.site_id,
+            payload=AuthReply(auth_id=request.auth_id,
+                              txn_id=request.txn_id, site=self.site_id,
+                              granted=granted,
+                              aborted_local_txns=tuple(aborted))))
+
+    def _handle_commit_order(self, order: CommitOrder) -> None:
+        """Apply the central transaction's updates, release its locks."""
+        self.data.apply_updates(order.updates)
+        self.locks.release_all(order.txn_id)
+
+    def _handle_release_order(self, order: ReleaseOrder) -> None:
+        """Failed authentication elsewhere: drop any granted locks."""
+        self.locks.release_all(order.txn_id)
+
+    def _handle_update_ack(self, ack: UpdateAck) -> None:
+        """Central applied our updates: decrement the coherence counts."""
+        for group in ack.updates:
+            for entity in group:
+                self.locks.decrement_coherence(entity)

@@ -1,0 +1,238 @@
+"""Measurement collection for hybrid-system simulations.
+
+The collector honours a warm-up period: observations before
+``warmup_time`` are discarded so the steady-state estimates are not
+biased by the empty-and-idle initial state.  Everything the paper's
+figures need is gathered here:
+
+* mean response time over **all** transactions (class A and B -- the
+  y-axis of Figures 4.1/4.2/4.4/4.5/4.7), split by the six transaction
+  kinds and by class;
+* throughput (committed transactions per second of measured time);
+* the fraction of class A transactions shipped (Figures 4.3/4.6);
+* abort statistics split by cause (deadlock, invalidation of local
+  transactions by authentication, invalidation of central transactions by
+  asynchronous updates, negative acknowledgements);
+* message counts and mean CPU utilisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..db.transaction import (
+    Placement,
+    Transaction,
+    TransactionClass,
+    TransactionKind,
+)
+from ..sim.quantiles import QuantileSet
+from ..sim.stats import RunningStat, TimeWeightedStat
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Environment
+
+__all__ = ["MetricsCollector", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Immutable summary of one simulation run (one curve point)."""
+
+    total_rate: float
+    comm_delay: float
+    strategy: str
+    seed: int
+
+    mean_response_time: float
+    response_time_by_class: dict[TransactionClass, float]
+    response_time_by_kind: dict[TransactionKind, float]
+    #: Streaming P^2 estimates: keys p50/p90/p95/p99/min/max.
+    response_time_percentiles: dict[str, float]
+    throughput: float
+    completed: int
+
+    class_a_arrivals: int
+    class_a_shipped: int
+
+    aborts_total: int
+    aborts_deadlock: int
+    aborts_local_invalidated: int
+    aborts_central_invalidated: int
+    auth_negative_acks: int
+
+    mean_local_utilization: float
+    mean_central_utilization: float
+    mean_local_queue_length: float
+    mean_central_queue_length: float
+    messages_to_central: int
+    messages_to_sites: int
+
+    @property
+    def shipped_fraction(self) -> float:
+        """Fraction of measured class A arrivals routed to the central site."""
+        if self.class_a_arrivals == 0:
+            return 0.0
+        return self.class_a_shipped / self.class_a_arrivals
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per committed transaction."""
+        if self.completed == 0:
+            return 0.0
+        return self.aborts_total / self.completed
+
+
+class MetricsCollector:
+    """Accumulates statistics during a run and freezes them into a result.
+
+    Every protocol-visible transition flows through this collector, so it
+    doubles as the system's trace point: pass a
+    :class:`~repro.sim.trace.Tracer` to record a structured event log
+    (kinds: ``route``, ``commit``, ``abort``, ``negative-ack``).  Trace
+    emission is unconditional (not gated on the warm-up window) so
+    debugging runs see the start-up transient too.
+    """
+
+    def __init__(self, env: "Environment", warmup_time: float,
+                 tracer=None):
+        self.env = env
+        self.warmup_time = warmup_time
+        from ..sim.trace import NullTracer
+
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+        self.response_all = RunningStat()
+        self.response_quantiles = QuantileSet()
+        self.response_by_class: dict[TransactionClass, RunningStat] = {
+            cls: RunningStat() for cls in TransactionClass}
+        self.response_by_kind: dict[TransactionKind, RunningStat] = {
+            kind: RunningStat() for kind in TransactionKind}
+        self.completed = 0
+
+        self.class_a_arrivals = 0
+        self.class_a_shipped = 0
+
+        self.aborts_deadlock = 0
+        self.aborts_local_invalidated = 0
+        self.aborts_central_invalidated = 0
+        self.auth_negative_acks = 0
+
+        self.n_central = TimeWeightedStat()
+        self.n_local = TimeWeightedStat()
+        self.messages_to_central = 0
+        self.messages_to_sites = 0
+
+    # -- recording hooks (called by the sites) ------------------------------
+
+    @property
+    def measuring(self) -> bool:
+        return self.env.now >= self.warmup_time
+
+    def record_routing(self, txn: Transaction) -> None:
+        self.tracer.emit(self.env.now, "route", txn=txn.txn_id,
+                         site=txn.home_site,
+                         txn_class=txn.txn_class.value,
+                         placement=txn.placement.value)
+        if not self.measuring or txn.txn_class is not TransactionClass.A:
+            return
+        self.class_a_arrivals += 1
+        if txn.placement is Placement.SHIPPED:
+            self.class_a_shipped += 1
+
+    def record_completion(self, txn: Transaction) -> None:
+        self.tracer.emit(self.env.now, "commit", txn=txn.txn_id,
+                         site=txn.home_site, txn_kind=txn.kind().value,
+                         response=round(txn.response_time, 6),
+                         runs=txn.run_count)
+        if not self.measuring:
+            return
+        self.completed += 1
+        response = txn.response_time
+        self.response_all.add(response)
+        self.response_quantiles.add(response)
+        self.response_by_class[txn.txn_class].add(response)
+        self.response_by_kind[txn.kind()].add(response)
+
+    def record_abort(self, txn: Transaction, cause: str) -> None:
+        self.tracer.emit(self.env.now, "abort", txn=txn.txn_id,
+                         site=txn.home_site, cause=cause,
+                         run=txn.run_count)
+        if not self.measuring:
+            return
+        if cause == "deadlock":
+            self.aborts_deadlock += 1
+        elif cause == "local-invalidated":
+            self.aborts_local_invalidated += 1
+        elif cause == "central-invalidated":
+            self.aborts_central_invalidated += 1
+        else:
+            raise ValueError(f"unknown abort cause: {cause}")
+
+    def record_negative_ack(self) -> None:
+        self.tracer.emit(self.env.now, "negative-ack")
+        if self.measuring:
+            self.auth_negative_acks += 1
+
+    def record_message(self, to_central: bool) -> None:
+        if not self.measuring:
+            return
+        if to_central:
+            self.messages_to_central += 1
+        else:
+            self.messages_to_sites += 1
+
+    def record_population(self, n_local_total: int, n_central: int) -> None:
+        """Sample the per-site population time series (called on changes)."""
+        self.n_local.record(self.env.now, n_local_total)
+        self.n_central.record(self.env.now, n_central)
+
+    # -- summary -------------------------------------------------------------
+
+    @property
+    def aborts_total(self) -> int:
+        return (self.aborts_deadlock + self.aborts_local_invalidated +
+                self.aborts_central_invalidated)
+
+    def freeze(self, *, total_rate: float, comm_delay: float, strategy: str,
+               seed: int, local_utilizations: list[float],
+               central_utilization: float,
+               mean_local_queue: float,
+               mean_central_queue: float) -> SimulationResult:
+        """Produce the immutable result for this run."""
+        measured_time = max(self.env.now - self.warmup_time, 1e-12)
+        mean_local_util = (sum(local_utilizations) /
+                           len(local_utilizations)
+                           if local_utilizations else 0.0)
+        by_class = {cls: stat.mean
+                    for cls, stat in self.response_by_class.items()
+                    if stat.count}
+        by_kind = {kind: stat.mean
+                   for kind, stat in self.response_by_kind.items()
+                   if stat.count}
+        return SimulationResult(
+            total_rate=total_rate,
+            comm_delay=comm_delay,
+            strategy=strategy,
+            seed=seed,
+            mean_response_time=self.response_all.mean,
+            response_time_by_class=by_class,
+            response_time_by_kind=by_kind,
+            response_time_percentiles=self.response_quantiles.summary(),
+            throughput=self.completed / measured_time,
+            completed=self.completed,
+            class_a_arrivals=self.class_a_arrivals,
+            class_a_shipped=self.class_a_shipped,
+            aborts_total=self.aborts_total,
+            aborts_deadlock=self.aborts_deadlock,
+            aborts_local_invalidated=self.aborts_local_invalidated,
+            aborts_central_invalidated=self.aborts_central_invalidated,
+            auth_negative_acks=self.auth_negative_acks,
+            mean_local_utilization=mean_local_util,
+            mean_central_utilization=central_utilization,
+            mean_local_queue_length=mean_local_queue,
+            mean_central_queue_length=mean_central_queue,
+            messages_to_central=self.messages_to_central,
+            messages_to_sites=self.messages_to_sites,
+        )

@@ -1,0 +1,202 @@
+"""Protocol message payloads exchanged between local sites and central.
+
+Message flows (Section 2 of the paper):
+
+* ``TxnShipment``       site -> central : a shipped class A or class B
+  transaction's input message.
+* ``UpdatePropagation`` site -> central : asynchronous batch of committed
+  local updates (locks released locally, coherence counts incremented).
+* ``UpdateAck``         central -> site : the central site has applied the
+  batch; the site decrements the coherence counts.
+* ``AuthRequest``       central -> site : authentication phase -- the lock
+  list (and updated blocks) of a committing central/shipped transaction.
+* ``AuthReply``         site -> central : positive (locks granted at the
+  master, conflicting local transactions marked for abort) or negative
+  (in-flight coherence updates).
+* ``CommitOrder``       central -> site : second phase -- apply updates and
+  release the authenticating transaction's locks at the master.
+* ``ReleaseOrder``      central -> site : authentication failed somewhere;
+  release any locks granted to the transaction at this master.
+
+Every central -> site payload carries a :class:`CentralSnapshot`, which is
+how the dynamic routing strategies learn (delayed) central state: the
+paper notes the central queue length "is only updated during
+authentication of a centrally running transaction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.locks import LockMode
+from ..db.transaction import Transaction
+
+__all__ = [
+    "CentralSnapshot",
+    "TxnShipment",
+    "UpdatePropagation",
+    "UpdateAck",
+    "AuthRequest",
+    "AuthReply",
+    "CommitOrder",
+    "ReleaseOrder",
+    "RemoteLockRequest",
+    "RemoteLockReply",
+    "RemoteCommit",
+    "RemoteRelease",
+    "RemoteInvalidate",
+]
+
+
+@dataclass(frozen=True)
+class CentralSnapshot:
+    """Central-site state as sampled when a message was sent.
+
+    ``queue_length`` counts CPU-queued plus running jobs (the paper's
+    ``q_c``); ``n_txns`` counts every transaction at the central site
+    including those in I/O, commit processing and contention wait (the
+    paper's ``n_c``); ``locks_held`` is the central lock-table population.
+    """
+
+    time: float
+    queue_length: int
+    n_txns: int
+    locks_held: int
+
+    @staticmethod
+    def empty() -> "CentralSnapshot":
+        """Initial optimistic snapshot before any message has arrived."""
+        return CentralSnapshot(time=float("-inf"), queue_length=0,
+                               n_txns=0, locks_held=0)
+
+
+@dataclass
+class TxnShipment:
+    """Input message carrying a transaction to the central site."""
+
+    txn: Transaction
+
+
+@dataclass
+class UpdatePropagation:
+    """Asynchronous update batch from a local commit (or several)."""
+
+    source_site: int
+    #: Exclusive-mode entities per committed transaction in the batch.
+    updates: tuple[tuple[int, ...], ...]
+
+    @property
+    def entities(self) -> tuple[int, ...]:
+        return tuple(entity for group in self.updates for entity in group)
+
+
+@dataclass
+class UpdateAck:
+    """Acknowledgement of one :class:`UpdatePropagation` batch."""
+
+    updates: tuple[tuple[int, ...], ...]
+    snapshot: CentralSnapshot
+
+    @property
+    def entities(self) -> tuple[int, ...]:
+        return tuple(entity for group in self.updates for entity in group)
+
+
+@dataclass
+class AuthRequest:
+    """Authentication-phase lock list for one committing transaction."""
+
+    auth_id: int
+    txn_id: int
+    references: tuple[tuple[int, LockMode], ...]
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class AuthReply:
+    """Master-site answer to an :class:`AuthRequest`."""
+
+    auth_id: int
+    txn_id: int
+    site: int
+    granted: bool                       # False = negative acknowledgement
+    aborted_local_txns: tuple[int, ...] = field(default=())
+
+
+@dataclass
+class CommitOrder:
+    """Commit message: apply updates, release the transaction's locks.
+
+    ``updates`` lists the exclusive-mode entities mastered at the
+    receiving site whose replica must be updated.
+    """
+
+    txn_id: int
+    snapshot: CentralSnapshot
+    updates: tuple[int, ...] = ()
+
+
+@dataclass
+class ReleaseOrder:
+    """Clean-up after a failed authentication round."""
+
+    txn_id: int
+    snapshot: CentralSnapshot
+
+
+# ---------------------------------------------------------------------------
+# Fully distributed mode (class_b_mode = "remote-call"): a class B
+# transaction runs at its home site and fetches each non-local datum from
+# the central data server with a synchronous remote call.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RemoteLockRequest:
+    """Site -> central: lock ``entity`` and return the datum."""
+
+    call_id: int
+    txn_id: int
+    site: int
+    entity: int
+    mode: LockMode
+
+
+@dataclass
+class RemoteLockReply:
+    """Central -> site: grant (with data) or deadlock refusal."""
+
+    call_id: int
+    txn_id: int
+    granted: bool
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class RemoteCommit:
+    """Site -> central: commit a distributed transaction.
+
+    Releases its remote locks and applies its non-local updates at the
+    data server, which forwards them to the owning master sites.
+    """
+
+    txn_id: int
+    site: int
+    updates: tuple[int, ...]
+
+
+@dataclass
+class RemoteRelease:
+    """Site -> central: abort cleanup, drop the remote locks."""
+
+    txn_id: int
+    site: int
+
+
+@dataclass
+class RemoteInvalidate:
+    """Central -> site: a remote-held lock was invalidated by an
+    asynchronous update; mark the distributed transaction for abort."""
+
+    txn_id: int
+    snapshot: CentralSnapshot

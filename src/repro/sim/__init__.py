@@ -1,0 +1,59 @@
+"""Discrete-event simulation substrate (engine, resources, RNG, stats).
+
+This package is self-contained and domain-agnostic: the hybrid database
+model in :mod:`repro.hybrid` is built entirely on these primitives.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .network import DuplexChannel, Link, Message
+from .resources import PriorityResource, Request, Resource, Store
+from .rng import ExponentialSampler, RandomStreams, UniformIntSampler
+from .stats import (
+    BatchMeans,
+    IntervalEstimate,
+    ReplicationSummary,
+    RunningStat,
+    TimeWeightedStat,
+)
+from .trace import NullTracer, TraceRecord, Tracer, make_tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "DuplexChannel",
+    "Link",
+    "Message",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "ExponentialSampler",
+    "RandomStreams",
+    "UniformIntSampler",
+    "BatchMeans",
+    "IntervalEstimate",
+    "ReplicationSummary",
+    "RunningStat",
+    "TimeWeightedStat",
+    "NullTracer",
+    "TraceRecord",
+    "Tracer",
+    "make_tracer",
+]

@@ -1,0 +1,500 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained process-based DES engine in the style of SimPy,
+built from scratch for this reproduction (SimPy is not a dependency).
+
+The kernel provides:
+
+* :class:`Environment` -- the simulated clock and the event calendar.
+* :class:`Event` -- a one-shot occurrence that processes can wait on.
+* :class:`Timeout` -- an event that fires after a fixed simulated delay.
+* :class:`Process` -- a generator-driven simulated activity.  A process
+  function ``yield``\\ s events; the kernel resumes the generator when the
+  yielded event fires, sending the event's value back into the generator.
+* :class:`Interrupt` -- an exception thrown *into* a process by another
+  process (used by the hybrid protocol to abort transactions that are
+  waiting on a lock or sleeping in an I/O phase).
+* :class:`AllOf` / :class:`AnyOf` -- composite condition events.
+
+Determinism: events scheduled for the same simulated time fire in FIFO
+order of scheduling (a monotonically increasing sequence number breaks
+ties), so simulations are exactly reproducible for a fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "StopSimulation",
+    "PENDING",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run`."""
+
+
+class _Pending:
+    """Sentinel for an event value that has not been decided yet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` until the event is triggered.
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries an arbitrary object describing why the
+    interrupt happened (the hybrid protocol passes abort reasons here).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt({self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes may wait for.
+
+    An event moves through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled to fire, value decided) and
+    *processed* (callbacks have run).  Waiting processes register
+    callbacks; when the event fires, each callback receives the event.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: True once a failure value has been retrieved or defused.
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a decided value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env._enqueue(self)
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    # -- internal ---------------------------------------------------------
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: schedule an immediate wake-up that
+            # re-delivers this event (with its original identity and
+            # outcome) to the late subscriber.
+            mirror = Event(self.env)
+            mirror.callbacks.append(lambda _mirror: callback(self))
+            mirror._ok = True
+            mirror._value = None
+            self.env._enqueue(mirror)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout delay={self.delay}>"
+
+
+class _ConditionValue:
+    """Mapping of event -> value for the events a condition collected."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(key)
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {event: event._value for event in self.events}
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment",
+                 evaluate: Callable[[list[Event], int], bool],
+                 events: Iterable[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._fired: set[int] = set()
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed(_ConditionValue())
+            return
+        for event in self._events:
+            # _add_callback is correct for every state: pending and
+            # triggered-but-scheduled events fire later; already-processed
+            # events are re-delivered via an immediate mirror event.
+            event._add_callback(self._check)
+
+    def _collect_value(self) -> _ConditionValue:
+        value = _ConditionValue()
+        for event in self._events:
+            if id(event) in self._fired:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused()
+            return
+        self._fired.add(id(event))
+        self._count += 1
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_value())
+
+
+class AllOf(Condition):
+    """Fires when *all* constituent events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count == len(events),
+                         events)
+
+
+class AnyOf(Condition):
+    """Fires when *any* constituent event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A simulated activity driven by a generator.
+
+    The generator yields :class:`Event` instances; the kernel resumes it
+    with the event's value once the event fires (or throws the event's
+    exception into it if the event failed).  A ``Process`` is itself an
+    event that fires when the generator returns, carrying the return
+    value -- so processes can wait for other processes.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str | None = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"{generator!r} is not a generator; did you call the "
+                "process function?")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Event | None = None
+        self._started = False
+        # Kick off at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._enqueue(init)
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is allowed (the interrupt is delivered
+        first and the original event's outcome is discarded for this
+        wake-up -- the event itself still fires for other waiters).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self._generator is self.env.active_process_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        failure = Event(self.env)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure._defused = True
+        failure.callbacks.append(self._resume)
+        # Interrupts normally pre-empt same-time events (priority 0),
+        # but a not-yet-started process must be initialised first --
+        # throwing into an unstarted generator would bypass its try
+        # blocks -- so such interrupts are sequenced after the init event.
+        self.env._enqueue(failure, priority=0 if self._started else 2)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Process already finished (e.g. interrupt raced completion).
+            if not event._ok:
+                event.defused()
+            return
+        # Detach from the event we were waiting on.
+        self._target = None
+        env = self.env
+        env._active = self
+        self._started = True
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused()
+                exc = event._value
+                if isinstance(exc, Interrupt) and event._defused:
+                    next_event = self._generator.throw(exc)
+                else:
+                    next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            env._active = None
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            env._active = None
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._ok = False
+            self._value = error
+            env._enqueue(self)
+            return
+        env._active = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}")
+        self._target = next_event
+        next_event._add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Environment:
+    """Simulation environment: clock, event calendar and run loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Process | None = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active
+
+    @property
+    def active_process_generator(self):
+        return self._active._generator if self._active is not None else None
+
+    # -- event construction helpers ----------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0,
+                 priority: int = 1) -> None:
+        """Place a triggered event on the calendar.
+
+        ``priority`` 0 is used for interrupts so that they pre-empt
+        same-time normal events.
+        """
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise StopSimulation("event calendar is empty")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            # An un-handled failure crashes the simulation, as it would in
+            # SimPy: errors should never pass silently.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a simulated time (run up to that time), an
+        :class:`Event` (run until it fires, returning its value), or
+        ``None`` (run until the calendar drains).
+        """
+        stop_event: Event | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+
+            def _halt(event: Event) -> None:
+                raise StopSimulation(event)
+
+            stop_event._add_callback(_halt)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"until={horizon} lies in the past (now={self._now})")
+        try:
+            while self._queue:
+                if stop_event is None and until is not None:
+                    if self._queue[0][0] > horizon:
+                        self._now = horizon
+                        return None
+                self.step()
+        except StopSimulation as stop:
+            if stop_event is not None and stop.args and \
+                    stop.args[0] is stop_event:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            return None
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run(until=event) ended before the event fired")
+        if until is not None and stop_event is None:
+            self._now = horizon
+        return None

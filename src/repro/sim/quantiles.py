@@ -1,0 +1,135 @@
+"""Streaming quantile estimation (the P-squared algorithm).
+
+Simulation runs produce hundreds of thousands of response-time
+observations; storing them all to compute tail percentiles is wasteful.
+The P^2 algorithm (Jain & Chlamtac, CACM 1985 -- conveniently, a
+contemporary of the reproduced paper) maintains a five-marker parabolic
+approximation of a single quantile in O(1) memory with O(1) update cost.
+
+:class:`P2Quantile` tracks one quantile; :class:`QuantileSet` bundles the
+usual reporting set (p50/p90/p95/p99) plus exact min/max.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["P2Quantile", "QuantileSet"]
+
+
+class P2Quantile:
+    """P^2 estimator of a single quantile ``p`` (0 < p < 1)."""
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self._initial: list[float] = []
+        # Marker heights (q), positions (n) and desired positions (np).
+        self._q: list[float] = []
+        self._n: list[float] = []
+        self._np: list[float] = []
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        if math.isnan(value):
+            raise ValueError("NaN observation")
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._q = list(self._initial)
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._np = [1.0, 1.0 + 2.0 * self.p, 1.0 + 4.0 * self.p,
+                            3.0 + 2.0 * self.p, 5.0]
+            return
+        # Locate the cell containing the observation; update extremes.
+        if value < self._q[0]:
+            self._q[0] = value
+            cell = 0
+        elif value >= self._q[4]:
+            self._q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= self._q[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            self._n[index] += 1.0
+        for index in range(5):
+            self._np[index] += self._dn[index]
+        # Adjust interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            delta = self._np[index] - self._n[index]
+            if (delta >= 1.0 and self._n[index + 1] - self._n[index] > 1.0) \
+                    or (delta <= -1.0 and
+                        self._n[index - 1] - self._n[index] < -1.0):
+                direction = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(index, direction)
+                if self._q[index - 1] < candidate < self._q[index + 1]:
+                    self._q[index] = candidate
+                else:
+                    self._q[index] = self._linear(index, direction)
+                self._n[index] += direction
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) /
+            (n[i + 1] - n[i]) +
+            (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) /
+            (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, d: float) -> float:
+        j = i + int(d)
+        return self._q[i] + d * (self._q[j] - self._q[i]) / \
+            (self._n[j] - self._n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN until observations arrive)."""
+        if not self._initial:
+            return math.nan
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            index = min(int(self.p * len(ordered)), len(ordered) - 1)
+            return ordered[index]
+        return self._q[2]
+
+
+class QuantileSet:
+    """Standard reporting quantiles plus exact extremes."""
+
+    DEFAULT = (0.50, 0.90, 0.95, 0.99)
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT):
+        self._estimators = {p: P2Quantile(p) for p in quantiles}
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for estimator in self._estimators.values():
+            estimator.add(value)
+
+    def quantile(self, p: float) -> float:
+        """Estimate for one of the tracked quantiles."""
+        try:
+            return self._estimators[p].value
+        except KeyError:
+            raise KeyError(f"quantile {p} is not tracked") from None
+
+    def summary(self) -> dict[str, float]:
+        result = {f"p{int(p * 100):02d}": estimator.value
+                  for p, estimator in sorted(self._estimators.items())}
+        result["min"] = self.minimum if self.count else math.nan
+        result["max"] = self.maximum if self.count else math.nan
+        return result

@@ -1,0 +1,190 @@
+"""Shared resources for the DES kernel: servers, stores and mailboxes.
+
+Three primitives cover every queueing station in the hybrid system model:
+
+* :class:`Resource` -- a multi-server FCFS resource with an explicit wait
+  queue (models CPUs; the hybrid sites use capacity-1 resources since the
+  paper's sites are single processors).
+* :class:`PriorityResource` -- the same, with numeric priorities (lower is
+  served first); used for giving commit processing precedence experiments.
+* :class:`Store` -- an unbounded FIFO store of items with blocking ``get``;
+  used for message mailboxes between sites.
+
+Requests are events, so a process can combine them with timeouts or be
+interrupted while queued; cancelling a queued request removes it from the
+wait queue (used when a transaction waiting for the CPU is aborted).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any
+
+from .engine import Environment, Event, Interrupt, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req            # wait until granted
+            yield env.timeout(s) # hold the resource
+        # released on exit
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._order = next(resource._ticket)
+        resource._enqueue_request(self)
+
+    # Sort key: priority first, then FIFO within a priority level.
+    @property
+    def key(self) -> tuple[float, int]:
+        return (self.priority, self._order)
+
+    def cancel(self) -> None:
+        """Withdraw this request.
+
+        If still queued it is removed from the wait queue; if already
+        granted the resource slot is released.  Safe to call more than
+        once.
+        """
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+
+class Resource:
+    """Multi-server FCFS resource with an observable wait queue.
+
+    The queue length (``len(resource.queue)``) plus the number of busy
+    servers (``resource.count``) is exactly the "CPU queue length
+    including any running jobs" statistic the paper's dynamic strategies
+    sample.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._ticket = itertools.count()
+        # Cumulative busy time bookkeeping for utilisation measurement.
+        self._busy_integral = 0.0
+        self._last_change = env.now
+
+    # -- public API ---------------------------------------------------------
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim one server; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a granted request (idempotent via :meth:`Request.cancel`)."""
+        self._cancel(request)
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Waiting plus in-service jobs (the paper's ``q`` statistic)."""
+        return len(self.queue) + len(self.users)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Time-average fraction of capacity busy since time ``since``."""
+        self._account()
+        horizon = self.env.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._busy_integral / (horizon * self.capacity)
+
+    def reset_utilization(self) -> None:
+        """Restart the utilisation integral (e.g. after warm-up)."""
+        self._account()
+        self._busy_integral = 0.0
+
+    # -- internals ----------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def _enqueue_request(self, request: Request) -> None:
+        self._account()
+        self.queue.append(request)
+        self._grant_waiters()
+
+    def _cancel(self, request: Request) -> None:
+        self._account()
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_waiters()
+        elif request in self.queue:
+            self.queue.remove(request)
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = min(self.queue, key=lambda r: r.key)
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose requests honour the ``priority`` argument.
+
+    Functionally identical to :class:`Resource` (priority ordering is
+    already implemented in the request key); this subclass exists to make
+    intent explicit at call sites.
+    """
+
+
+class Store:
+    """Unbounded FIFO store of items with blocking retrieval.
+
+    Used as a one-way mailbox: producers :meth:`put` items (never blocks),
+    consumers ``yield store.get()`` and receive items in insertion order.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self.items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)

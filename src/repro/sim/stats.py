@@ -1,0 +1,261 @@
+"""Output-analysis statistics for simulation runs.
+
+The estimators here implement the standard machinery of a credible
+simulation study:
+
+* :class:`RunningStat` -- Welford accumulator for means/variances of
+  observation streams (response times, abort counts).
+* :class:`TimeWeightedStat` -- time-integral averages for state variables
+  (queue lengths, number in system, utilisation).
+* :class:`BatchMeans` -- batch-means confidence intervals from a single
+  long run (used after warm-up deletion).
+* :class:`ReplicationSummary` -- t-based confidence intervals across
+  independent replications (used by the experiment harness).
+* :class:`IntervalEstimate` -- a point estimate plus half-width.
+
+All confidence intervals use the Student-t quantile from scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "RunningStat",
+    "TimeWeightedStat",
+    "BatchMeans",
+    "ReplicationSummary",
+    "IntervalEstimate",
+]
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A point estimate with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (``inf`` for zero mean)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} +/- {self.half_width:.2g} "
+                f"({self.confidence:.0%}, n={self.n})")
+
+
+def _t_half_width(std: float, n: int, confidence: float) -> float:
+    if n < 2 or std == 0.0:
+        return 0.0
+    quantile = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, n - 1))
+    return quantile * std / math.sqrt(n)
+
+
+class RunningStat:
+    """Welford's online mean/variance accumulator.
+
+    Numerically stable for long observation streams, O(1) memory.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = RunningStat()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = (self._m2 + other._m2 +
+                      delta * delta * self._n * other._n / n)
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if var == var else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else math.nan
+
+    def interval(self, confidence: float = 0.95) -> IntervalEstimate:
+        """Confidence interval treating observations as i.i.d.
+
+        For autocorrelated within-run data prefer :class:`BatchMeans`.
+        """
+        std = self.std
+        half = _t_half_width(std if std == std else 0.0, self._n, confidence)
+        return IntervalEstimate(self.mean, half, confidence, self._n)
+
+
+class TimeWeightedStat:
+    """Time-average of a piecewise-constant state variable.
+
+    Call :meth:`record` whenever the tracked quantity changes; the mean is
+    the integral of the level over time divided by elapsed time.
+    """
+
+    def __init__(self, initial_time: float = 0.0, initial_level: float = 0.0):
+        self._start = initial_time
+        self._last_time = initial_time
+        self._level = initial_level
+        self._integral = 0.0
+        self._peak = initial_level
+
+    def record(self, now: float, level: float) -> None:
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}")
+        self._integral += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        if level > self._peak:
+            self._peak = level
+
+    def reset(self, now: float) -> None:
+        """Restart integration at ``now`` keeping the current level."""
+        self._start = now
+        self._last_time = now
+        self._integral = 0.0
+        self._peak = self._level
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def mean(self, now: float) -> float:
+        """Time-average level over ``[start, now]``."""
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        total = self._integral + self._level * (now - self._last_time)
+        return total / elapsed
+
+
+class BatchMeans:
+    """Batch-means interval estimation from one long (post-warm-up) run.
+
+    Observations are grouped into ``n_batches`` contiguous batches; batch
+    averages are approximately independent for long batches, so a t-based
+    interval over them is valid despite within-run autocorrelation.
+    """
+
+    def __init__(self, n_batches: int = 20):
+        if n_batches < 2:
+            raise ValueError("need at least 2 batches")
+        self.n_batches = n_batches
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._values.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def batch_averages(self) -> list[float]:
+        n = len(self._values)
+        if n < self.n_batches:
+            raise ValueError(
+                f"only {n} observations for {self.n_batches} batches")
+        size = n // self.n_batches
+        return [
+            sum(self._values[i * size:(i + 1) * size]) / size
+            for i in range(self.n_batches)
+        ]
+
+    def interval(self, confidence: float = 0.95) -> IntervalEstimate:
+        batches = self.batch_averages()
+        stat = RunningStat()
+        stat.extend(batches)
+        half = _t_half_width(stat.std, len(batches), confidence)
+        return IntervalEstimate(stat.mean, half, confidence, len(batches))
+
+
+class ReplicationSummary:
+    """Cross-replication estimator: one observation per independent run."""
+
+    def __init__(self) -> None:
+        self._per_rep: list[float] = []
+
+    def add_replication(self, value: float) -> None:
+        self._per_rep.append(value)
+
+    @property
+    def replications(self) -> Sequence[float]:
+        return tuple(self._per_rep)
+
+    def interval(self, confidence: float = 0.95) -> IntervalEstimate:
+        stat = RunningStat()
+        stat.extend(self._per_rep)
+        half = _t_half_width(stat.std if stat.std == stat.std else 0.0,
+                             stat.count, confidence)
+        return IntervalEstimate(stat.mean, half, confidence, stat.count)

@@ -1,0 +1,97 @@
+"""Structured event tracing for simulations.
+
+A :class:`Tracer` records timestamped, typed trace records.  Tracing is
+off by default (a :class:`NullTracer` swallows records with near-zero
+cost) and can be enabled per-run for debugging protocol interactions or
+producing event logs for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "make_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: when, what kind of event, and free-form details."""
+
+    time: float
+    kind: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        parts = " ".join(f"{key}={value}" for key, value in
+                         sorted(self.details.items()))
+        return f"[{self.time:12.6f}] {self.kind:<24} {parts}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by kind."""
+
+    enabled = True
+
+    def __init__(self, kinds: set[str] | None = None,
+                 sink: Callable[[TraceRecord], None] | None = None,
+                 max_records: int | None = None):
+        self.kinds = kinds
+        self.sink = sink
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: float, kind: str, **details: Any) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        record = TraceRecord(time, kind, details)
+        if self.max_records is not None and \
+                len(self.records) >= self.max_records:
+            self.dropped += 1
+        else:
+            self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def filter(self, kind: str) -> Iterator[TraceRecord]:
+        """Iterate over records of one kind."""
+        return (record for record in self.records if record.kind == kind)
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of record kinds."""
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            histogram[record.kind] = histogram.get(record.kind, 0) + 1
+        return histogram
+
+    def dump(self) -> str:
+        return "\n".join(record.format() for record in self.records)
+
+
+class NullTracer:
+    """A tracer that records nothing (the default)."""
+
+    enabled = False
+    records: list[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, **details: Any) -> None:
+        return
+
+    def filter(self, kind: str) -> Iterator[TraceRecord]:
+        return iter(())
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    def dump(self) -> str:
+        return ""
+
+
+def make_tracer(enabled: bool = False, *,
+                kinds: set[str] | None = None,
+                max_records: int | None = 100_000) -> Tracer | NullTracer:
+    """Factory: a real :class:`Tracer` if ``enabled`` else a null one."""
+    if enabled:
+        return Tracer(kinds=kinds, max_records=max_records)
+    return NullTracer()

@@ -1,0 +1,84 @@
+"""Tests for the capacity-bound analysis (repro.analysis.bounds)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import best_static_capacity, capacity_bound
+from repro.hybrid import PAPER_BASE, paper_config
+
+
+def test_no_sharing_bound_matches_hand_calculation():
+    """p_ship = 0: only retained class A work plus class B auth bursts."""
+    bound = capacity_bound(PAPER_BASE, 0.0)
+    # Retained demand per system txn per site:
+    #   0.75 * 0.48s / 10 sites = 0.036s, plus class B authentication
+    #   0.25 * 6.513 masters * 0.03s / 10 = 0.0049s.
+    expected = 1.0 / ((0.75 * 0.48 + 0.25 * 6.5132 * 0.03) / 10)
+    assert bound.local_limit == pytest.approx(expected, rel=0.01)
+    assert bound.bottleneck == "local"
+
+
+def test_all_ship_bound_is_central_limited():
+    bound = capacity_bound(PAPER_BASE, 1.0)
+    assert bound.bottleneck == "central"
+    # Central demand per txn: (450K + 30K + 30K)/15M = 0.034s.
+    assert bound.central_limit == pytest.approx(1.0 / 0.034, rel=0.01)
+
+
+def test_local_limit_increases_with_shipping():
+    limits = [capacity_bound(PAPER_BASE, p).local_limit
+              for p in (0.0, 0.25, 0.5, 0.75)]
+    assert limits == sorted(limits)
+
+
+def test_central_limit_decreases_with_shipping():
+    limits = [capacity_bound(PAPER_BASE, p).central_limit
+              for p in (0.0, 0.25, 0.5, 0.75)]
+    assert limits == sorted(limits, reverse=True)
+
+
+def test_bound_upper_bounds_simulated_saturation():
+    """The simulator (with rerun work) saturates below the bound."""
+    bound = capacity_bound(PAPER_BASE, 0.0)
+    # Simulated no-sharing throughput tops out near 20 tps (see
+    # EXPERIMENTS.md); the first-run bound must sit above that.
+    assert 20.0 < bound.total_limit < 30.0
+
+
+def test_best_static_capacity_interior_optimum():
+    best = best_static_capacity(PAPER_BASE)
+    assert 0.2 < best.p_ship < 0.9
+    # The optimum beats both pure policies.
+    assert best.total_limit > capacity_bound(PAPER_BASE, 0.0).total_limit
+    assert best.total_limit > capacity_bound(PAPER_BASE, 1.0).total_limit
+
+
+def test_best_capacity_near_crossing():
+    """At the optimum the two limits roughly balance."""
+    best = best_static_capacity(PAPER_BASE, grid_points=201)
+    assert best.local_limit == pytest.approx(best.central_limit, rel=0.15)
+
+
+def test_faster_central_raises_optimal_shipping():
+    slow = best_static_capacity(paper_config(
+        total_rate=10.0, central_mips=10.0))
+    fast = best_static_capacity(paper_config(
+        total_rate=10.0, central_mips=30.0))
+    assert fast.p_ship > slow.p_ship
+    assert fast.total_limit > slow.total_limit
+
+
+def test_validates_inputs():
+    with pytest.raises(ValueError):
+        capacity_bound(PAPER_BASE, 1.5)
+    with pytest.raises(ValueError):
+        best_static_capacity(PAPER_BASE, grid_points=1)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_bounds_positive_and_finite(p_ship):
+    bound = capacity_bound(PAPER_BASE, p_ship)
+    assert bound.total_limit > 0
+    assert bound.total_limit < 1e6
+    assert bound.bottleneck in ("local", "central")

@@ -1,0 +1,103 @@
+"""Tests for the self-tuning threshold router (extension module)."""
+
+import pytest
+
+from repro.core import STRATEGIES, AdaptiveThresholdRouter
+from repro.core.router import RoutingObservation
+from repro.db import LockMode, Placement, Reference, Transaction, \
+    TransactionClass
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.protocol import CentralSnapshot
+
+
+def obs(q_local=0, q_central=0):
+    return RoutingObservation(
+        now=10.0, site=0, local_queue_length=q_local, local_n_txns=0,
+        local_locks_held=0, shipped_in_flight=0,
+        central=CentralSnapshot(time=9.5, queue_length=q_central,
+                                n_txns=0, locks_held=0))
+
+
+def completed(placement, response):
+    txn = Transaction(txn_id=1, txn_class=TransactionClass.A, home_site=0,
+                      references=(Reference(1, LockMode.EXCLUSIVE),),
+                      arrival_time=0.0)
+    txn.route(placement)
+    txn.complete(now=response)
+    return txn
+
+
+def test_validates_parameters():
+    with pytest.raises(ValueError):
+        AdaptiveThresholdRouter(smoothing=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveThresholdRouter(step=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveThresholdRouter(bounds=(0.5, -0.5))
+
+
+def test_initial_behavior_matches_static_threshold():
+    router = AdaptiveThresholdRouter(initial_threshold=0.0)
+    assert router.decide(None, obs(q_local=3, q_central=0)) is \
+        Placement.SHIPPED
+    assert router.decide(None, obs(q_local=0, q_central=3)) is \
+        Placement.LOCAL
+
+
+def test_no_adjustment_until_both_signals():
+    router = AdaptiveThresholdRouter()
+    router.observe_completion(completed(Placement.LOCAL, 1.0))
+    assert router.adjustments == 0
+    router.observe_completion(completed(Placement.SHIPPED, 2.0))
+    assert router.adjustments == 1
+
+
+def test_threshold_drops_when_shipping_wins():
+    router = AdaptiveThresholdRouter(initial_threshold=0.0, step=0.05)
+    router.observe_completion(completed(Placement.LOCAL, 5.0))
+    router.observe_completion(completed(Placement.SHIPPED, 1.0))
+    assert router.threshold < 0.0
+
+
+def test_threshold_rises_when_local_wins():
+    router = AdaptiveThresholdRouter(initial_threshold=0.0, step=0.05)
+    router.observe_completion(completed(Placement.SHIPPED, 5.0))
+    router.observe_completion(completed(Placement.LOCAL, 1.0))
+    assert router.threshold > 0.0
+
+
+def test_threshold_clamped_to_bounds():
+    router = AdaptiveThresholdRouter(initial_threshold=0.0, step=0.5,
+                                     bounds=(-0.3, 0.3))
+    for _ in range(10):
+        router.observe_completion(completed(Placement.LOCAL, 5.0))
+        router.observe_completion(completed(Placement.SHIPPED, 1.0))
+    assert router.threshold == pytest.approx(-0.3)
+
+
+def test_ewma_smoothing():
+    router = AdaptiveThresholdRouter(smoothing=0.5)
+    router.observe_completion(completed(Placement.LOCAL, 2.0))
+    router.observe_completion(completed(Placement.LOCAL, 4.0))
+    assert router._local_rt == pytest.approx(3.0)
+
+
+def test_registered_strategy_runs_end_to_end():
+    config = paper_config(total_rate=20.0, warmup_time=10.0,
+                          measure_time=40.0)
+    factory = STRATEGIES["adaptive-threshold"](config)
+    result = HybridSystem(config, factory).run()
+    assert result.throughput == pytest.approx(20.0, rel=0.15)
+    # The router actually adapted during the run.
+    assert 0.0 < result.shipped_fraction < 1.0
+
+
+def test_adaptation_converges_toward_negative_at_low_delay():
+    """At 0.2s delay the tuned threshold is negative (paper Fig 4.4)."""
+    config = paper_config(total_rate=28.0, warmup_time=20.0,
+                          measure_time=60.0)
+    system = HybridSystem(config, STRATEGIES["adaptive-threshold"](config))
+    system.run()
+    thresholds = [router.threshold for router in system.routers]
+    mean_threshold = sum(thresholds) / len(thresholds)
+    assert mean_threshold < 0.1  # drifted down from the 0.0 start

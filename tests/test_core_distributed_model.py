@@ -1,0 +1,118 @@
+"""Tests for the distributed-vs-centralized analytic estimates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributedModel, crossover_locality
+from repro.hybrid import PAPER_BASE, paper_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DistributedModel(PAPER_BASE)
+
+
+def test_remote_calls_counts(model):
+    assert model.remote_calls(None) == pytest.approx(9.0)
+    assert model.remote_calls(0.9) == pytest.approx(1.0)
+    assert model.remote_calls(1.0) == 0.0
+    with pytest.raises(ValueError):
+        model.remote_calls(1.5)
+
+
+def test_many_remote_calls_much_worse(model):
+    estimate = model.estimate(None)
+    assert estimate.response_distributed > \
+        2.0 * estimate.response_centralized
+    assert not estimate.distributed_wins
+
+
+def test_zero_remote_calls_wins(model):
+    estimate = model.estimate(1.0)
+    assert estimate.distributed_wins
+    # No communication at all: beats shipping by at least the two
+    # delays the shipped path cannot avoid.
+    assert estimate.response_centralized - \
+        estimate.response_distributed > 2 * PAPER_BASE.comm_delay * 0.5
+
+
+def test_crossover_near_one_remote_call(model):
+    """[DIAS87]: distributed wins iff remote calls 'significantly less
+    than one' -- the zero-load crossover sits around k = 1."""
+    locality = crossover_locality(PAPER_BASE)
+    k_at_crossover = model.remote_calls(locality)
+    assert 0.3 <= k_at_crossover <= 2.0
+
+
+def test_monotone_in_locality(model):
+    responses = [model.estimate(p).response_distributed
+                 for p in (0.0, 0.3, 0.6, 0.9, 1.0)]
+    assert responses == sorted(responses, reverse=True)
+
+
+def test_delay_shifts_crossover_toward_more_remote_calls():
+    """The centralized path pays the delay twice over (input shipment
+    plus authentication round trip, ~4D total) while each remote call
+    pays 2D -- so as the delay grows, break-even tolerates up to ~2
+    remote calls per transaction."""
+    near = crossover_locality(paper_config(total_rate=10.0,
+                                           comm_delay=0.1))
+    far = crossover_locality(paper_config(total_rate=10.0,
+                                          comm_delay=0.8))
+    assert far <= near  # more tolerant of remote calls at larger delay
+    model = DistributedModel(paper_config(total_rate=10.0,
+                                          comm_delay=0.8))
+    k_far = model.remote_calls(far)
+    assert k_far <= 2.5  # bounded by the ~2-call asymptote
+    # Both crossovers stay in the high-locality region regardless.
+    assert near > 0.5 and far > 0.5
+
+
+def test_utilization_degrades_distributed_more():
+    """Local-site load hurts the distributed mode (it runs there)."""
+    model = DistributedModel(PAPER_BASE)
+    idle = model.estimate(0.9, rho_local=0.0, rho_central=0.0)
+    busy = model.estimate(0.9, rho_local=0.7, rho_central=0.0)
+    assert busy.response_distributed > idle.response_distributed
+    penalty_distributed = (busy.response_distributed -
+                           idle.response_distributed)
+    penalty_centralized = (busy.response_centralized -
+                           idle.response_centralized)
+    assert penalty_distributed > penalty_centralized
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=0.9),
+       st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=30, deadline=None)
+def test_estimates_positive_finite(p_b_local, rho_l, rho_c):
+    model = DistributedModel(PAPER_BASE)
+    estimate = model.estimate(p_b_local, rho_l, rho_c)
+    assert 0 < estimate.response_distributed < 1e4
+    assert 0 < estimate.response_centralized < 1e4
+
+
+def test_model_tracks_simulation_direction():
+    """Model and simulator agree on who wins at both extremes."""
+    from dataclasses import replace
+
+    from repro.core import STRATEGIES
+    from repro.db import TransactionClass
+    from repro.hybrid import HybridSystem
+
+    def simulated_rt(mode, p_b_local):
+        config = paper_config(total_rate=8.0, warmup_time=10.0,
+                              measure_time=40.0, class_b_mode=mode)
+        if p_b_local is not None:
+            config = config.with_options(
+                workload=replace(config.workload, p_b_local=p_b_local))
+        result = HybridSystem(config, STRATEGIES["none"](config)).run()
+        return result.response_time_by_class[TransactionClass.B]
+
+    # Many remote calls: distributed much worse in both model and sim.
+    assert simulated_rt("remote-call", None) > \
+        1.5 * simulated_rt("central", None)
+    # Full locality: distributed wins in both.
+    assert simulated_rt("remote-call", 1.0) < \
+        simulated_rt("central", 1.0)

@@ -1,0 +1,243 @@
+"""Unit tests for dynamic strategies, heuristics and estimators."""
+
+import pytest
+
+from repro.core import (
+    MeasuredResponseTimeRouter,
+    QueueLengthRouter,
+    StateEstimator,
+    ThresholdUtilizationRouter,
+    UtilizationSource,
+)
+from repro.core.dynamic import (
+    MinAverageResponseRouter,
+    MinIncomingResponseRouter,
+)
+from repro.core.router import (
+    AlwaysLocalRouter,
+    AlwaysShipRouter,
+    RoutingObservation,
+)
+from repro.db import LockMode, Placement, Reference, Transaction, \
+    TransactionClass
+from repro.hybrid import paper_config
+from repro.hybrid.protocol import CentralSnapshot
+
+
+CONFIG = paper_config(total_rate=20.0)
+
+
+def obs(q_local=0, n_local=0, locks_local=0, q_central=0, n_central=0,
+        locks_central=0, shipped=0, now=100.0, snapshot_time=99.5):
+    return RoutingObservation(
+        now=now, site=0,
+        local_queue_length=q_local, local_n_txns=n_local,
+        local_locks_held=locks_local, shipped_in_flight=shipped,
+        central=CentralSnapshot(time=snapshot_time,
+                                queue_length=q_central,
+                                n_txns=n_central,
+                                locks_held=locks_central))
+
+
+def txn():
+    return Transaction(txn_id=1, txn_class=TransactionClass.A, home_site=0,
+                       references=(Reference(1, LockMode.EXCLUSIVE),),
+                       arrival_time=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Observation basics / trivial routers
+# ---------------------------------------------------------------------------
+
+def test_observation_age():
+    observation = obs(now=100.0, snapshot_time=99.5)
+    assert observation.central_state_age == pytest.approx(0.5)
+
+
+def test_always_local_and_always_ship():
+    assert AlwaysLocalRouter().decide(txn(), obs()) is Placement.LOCAL
+    assert AlwaysShipRouter().decide(txn(), obs()) is Placement.SHIPPED
+
+
+# ---------------------------------------------------------------------------
+# StateEstimator
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def estimator():
+    return StateEstimator(CONFIG, UtilizationSource.QUEUE_LENGTH)
+
+
+def test_cpu_fractions_in_unit_interval(estimator):
+    assert 0.0 < estimator.alpha_local < 1.0
+    assert 0.0 < estimator.alpha_central < 1.0
+    # Local transactions are CPU-bound relative to central ones (the
+    # central response is dominated by communication).
+    assert estimator.alpha_local > estimator.alpha_central
+
+
+def test_idle_system_prefers_local(estimator):
+    """With everything idle, retaining avoids the communication delay."""
+    cases = estimator.estimate_cases(obs())
+    assert cases.local_base < cases.central_base
+
+
+def test_busy_local_site_raises_local_estimate(estimator):
+    idle = estimator.estimate_cases(obs())
+    busy = estimator.estimate_cases(obs(q_local=6, n_local=8))
+    assert busy.local_base > idle.local_base
+
+
+def test_busy_central_raises_central_estimate(estimator):
+    idle = estimator.estimate_cases(obs())
+    busy = estimator.estimate_cases(obs(q_central=10, n_central=20))
+    assert busy.central_base > idle.central_base
+
+
+def test_plus_estimates_exceed_base(estimator):
+    cases = estimator.estimate_cases(obs(q_local=2, q_central=2,
+                                         n_local=3, n_central=5))
+    assert cases.local_plus >= cases.local_base
+    assert cases.central_plus >= cases.central_base
+
+
+def test_lock_population_raises_estimates(estimator):
+    clean = estimator.estimate_cases(obs(q_local=1))
+    contended = estimator.estimate_cases(
+        obs(q_local=1, locks_local=600, locks_central=4000))
+    assert contended.local_base > clean.local_base
+    assert contended.central_base > clean.central_base
+
+
+def test_population_source_uses_counts():
+    estimator = StateEstimator(CONFIG, UtilizationSource.POPULATION)
+    idle = estimator.estimate_cases(obs())
+    populated = estimator.estimate_cases(obs(n_local=6))
+    assert populated.local_base > idle.local_base
+
+
+# ---------------------------------------------------------------------------
+# Min-incoming / min-average routers
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("source", list(UtilizationSource))
+def test_min_incoming_retains_when_idle(source):
+    router = MinIncomingResponseRouter(CONFIG, source)
+    assert router.decide(txn(), obs()) is Placement.LOCAL
+
+
+@pytest.mark.parametrize("source", list(UtilizationSource))
+def test_min_incoming_ships_under_local_overload(source):
+    router = MinIncomingResponseRouter(CONFIG, source)
+    overloaded = obs(q_local=12, n_local=14)
+    assert router.decide(txn(), overloaded) is Placement.SHIPPED
+
+
+@pytest.mark.parametrize("source", list(UtilizationSource))
+def test_min_incoming_retains_when_central_overloaded(source):
+    router = MinIncomingResponseRouter(CONFIG, source)
+    central_busy = obs(q_local=1, n_local=1, q_central=30, n_central=40)
+    assert router.decide(txn(), central_busy) is Placement.LOCAL
+
+
+@pytest.mark.parametrize("source", list(UtilizationSource))
+def test_min_average_retains_when_idle(source):
+    router = MinAverageResponseRouter(CONFIG, source)
+    assert router.decide(txn(), obs()) is Placement.LOCAL
+
+
+@pytest.mark.parametrize("source", list(UtilizationSource))
+def test_min_average_ships_under_local_overload(source):
+    router = MinAverageResponseRouter(CONFIG, source)
+    overloaded = obs(q_local=12, n_local=14, n_central=2)
+    assert router.decide(txn(), overloaded) is Placement.SHIPPED
+
+
+def test_min_average_protects_central_population():
+    """Many central transactions raise the cost of adding another."""
+    router = MinAverageResponseRouter(CONFIG,
+                                      UtilizationSource.QUEUE_LENGTH)
+    moderate_local = obs(q_local=3, n_local=4, q_central=4, n_central=60)
+    incoming = MinIncomingResponseRouter(CONFIG,
+                                         UtilizationSource.QUEUE_LENGTH)
+    # Regardless of what min-incoming would do, min-average must be at
+    # least as reluctant to ship into a crowded central site.
+    if incoming.decide(txn(), moderate_local) is Placement.LOCAL:
+        assert router.decide(txn(), moderate_local) is Placement.LOCAL
+
+
+def test_router_names_mention_source():
+    router = MinIncomingResponseRouter(CONFIG,
+                                       UtilizationSource.QUEUE_LENGTH)
+    assert "queue-length" in router.name
+    router = MinAverageResponseRouter(CONFIG, UtilizationSource.POPULATION)
+    assert "number-in-system" in router.name
+
+
+# ---------------------------------------------------------------------------
+# Heuristics
+# ---------------------------------------------------------------------------
+
+def test_measured_response_bootstrap_sequence():
+    router = MeasuredResponseTimeRouter()
+    # Both memories zero: tie retains locally.
+    assert router.decide(txn(), obs()) is Placement.LOCAL
+    # A local completion makes local look slower than the (unset) shipped.
+    done = txn()
+    done.route(Placement.LOCAL)
+    done.complete(now=1.5)
+    router.observe_completion(done)
+    assert router.decide(txn(), obs()) is Placement.SHIPPED
+
+
+def test_measured_response_follows_feedback():
+    router = MeasuredResponseTimeRouter()
+    local_done = txn()
+    local_done.route(Placement.LOCAL)
+    local_done.complete(now=1.0)
+    router.observe_completion(local_done)
+    shipped_done = txn()
+    shipped_done.route(Placement.SHIPPED)
+    shipped_done.complete(now=5.0)
+    router.observe_completion(shipped_done)
+    # Shipped is now slower: retain.
+    assert router.decide(txn(), obs()) is Placement.LOCAL
+
+
+def test_queue_length_router_strict_comparison():
+    router = QueueLengthRouter()
+    assert router.decide(txn(), obs(q_local=3, q_central=2)) is \
+        Placement.SHIPPED
+    assert router.decide(txn(), obs(q_local=2, q_central=2)) is \
+        Placement.LOCAL
+    assert router.decide(txn(), obs(q_local=1, q_central=2)) is \
+        Placement.LOCAL
+
+
+def test_threshold_router_zero_threshold():
+    router = ThresholdUtilizationRouter(0.0)
+    # rho(3) = 0.75 vs rho(1) = 0.5: difference 0.25 > 0 -> ship.
+    assert router.decide(txn(), obs(q_local=3, q_central=1)) is \
+        Placement.SHIPPED
+    assert router.decide(txn(), obs(q_local=1, q_central=3)) is \
+        Placement.LOCAL
+
+
+def test_threshold_router_negative_threshold_ships_earlier():
+    eager = ThresholdUtilizationRouter(-0.3)
+    neutral = ThresholdUtilizationRouter(0.0)
+    balanced = obs(q_local=2, q_central=2)
+    assert eager.decide(txn(), balanced) is Placement.SHIPPED
+    assert neutral.decide(txn(), balanced) is Placement.LOCAL
+
+
+def test_threshold_router_positive_threshold_resists():
+    reluctant = ThresholdUtilizationRouter(0.4)
+    skewed = obs(q_local=4, q_central=1)
+    # rho(4)=0.8, rho(1)=0.5: difference 0.3 < 0.4 -> retain.
+    assert reluctant.decide(txn(), skewed) is Placement.LOCAL
+
+
+def test_threshold_router_name():
+    assert "+0.10" in ThresholdUtilizationRouter(0.1).name
+    assert "-0.20" in ThresholdUtilizationRouter(-0.2).name

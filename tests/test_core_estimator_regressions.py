@@ -1,0 +1,107 @@
+"""Regression tests for estimator defects found during development.
+
+Two classes of defect are pinned here so they cannot reappear:
+
+1. **Cross-term leakage** -- the incoming transaction's utilisation
+   correction at its local site must not inflate the authentication
+   window inside the *central* response-time estimate, otherwise the
+   min-average rule sees ``R_C(retain) > R_C(ship)`` and ships almost
+   everything (observed as a 94% shipping rate at moderate load).
+2. **Population blow-up** -- the number-in-system utilisation estimate
+   must stay below 1 for any population; the naive ``alpha * (n + 1)``
+   exceeded 1 for a single resident transaction at a 1 MIPS site,
+   producing ~100 s response estimates at idle sites (observed as the
+   population-based strategies shipping at near-zero load).
+"""
+
+import pytest
+
+from repro.core.estimators import StateEstimator, UtilizationSource
+from repro.core.router import RoutingObservation
+from repro.hybrid import paper_config
+from repro.hybrid.protocol import CentralSnapshot
+
+
+def obs(q_local=0, n_local=0, q_central=0, n_central=0,
+        locks_local=0, locks_central=0):
+    return RoutingObservation(
+        now=50.0, site=0, local_queue_length=q_local,
+        local_n_txns=n_local, local_locks_held=locks_local,
+        shipped_in_flight=0,
+        central=CentralSnapshot(time=49.5, queue_length=q_central,
+                                n_txns=n_central,
+                                locks_held=locks_central))
+
+
+@pytest.fixture(scope="module", params=list(UtilizationSource))
+def estimator(request):
+    return StateEstimator(paper_config(total_rate=15.0), request.param)
+
+
+def test_central_estimate_unaffected_by_retain_hypothesis(estimator):
+    """R_C(base) must equal R_C whether we hypothesise retain or ship-free.
+
+    The retain hypothesis adds load at the *local* site only; the central
+    base estimate (what a central transaction experiences if the newcomer
+    stays away) must not move with it.
+    """
+    observation = obs(q_local=2, n_local=3, q_central=1, n_central=4)
+    retained = estimator.contention(observation, ship=False)
+    shipped = estimator.contention(observation, ship=True)
+    # The retain case's central response must be <= the ship case's
+    # (the only difference being the newcomer's own load at central).
+    r_central_retain = estimator.model.response_central(retained)
+    r_central_ship = estimator.model.response_central(shipped)
+    assert r_central_retain <= r_central_ship + 1e-9
+
+
+def test_rho_auth_is_uncorrected(estimator):
+    observation = obs(q_local=0, n_local=0)
+    retained = estimator.contention(observation, ship=False)
+    # The retain correction raises rho_local, but the auth-window input
+    # must remain the uncorrected (idle) utilisation.
+    assert retained.rho_auth == pytest.approx(0.0)
+    assert retained.rho_local > 0.0
+
+
+def test_idle_site_single_txn_estimate_is_sane():
+    """One resident transaction must not produce a catastrophic estimate."""
+    estimator = StateEstimator(paper_config(total_rate=15.0),
+                               UtilizationSource.POPULATION)
+    cases = estimator.estimate_cases(obs(n_local=1))
+    # Pre-fix this was ~97 s (rho clamped at 0.995); sane is a few
+    # seconds at most at an otherwise idle site.
+    assert cases.local_plus < 5.0
+    assert cases.local_base < 3.0
+
+
+def test_population_estimates_bounded_for_large_n():
+    estimator = StateEstimator(paper_config(total_rate=15.0),
+                               UtilizationSource.POPULATION)
+    cases = estimator.estimate_cases(obs(n_local=40, n_central=200))
+    assert cases.local_plus < 1e4
+    assert cases.central_plus < 1e4
+
+
+def test_min_average_does_not_overship_at_moderate_load():
+    """End-to-end pin for the 94%-shipping regression (rate 15, 0.2s)."""
+    from repro.core import STRATEGIES
+    from repro.hybrid import HybridSystem
+
+    config = paper_config(total_rate=15.0, warmup_time=15.0,
+                          measure_time=45.0)
+    for name in ("min-average-queue", "min-average-population"):
+        result = HybridSystem(config, STRATEGIES[name](config)).run()
+        assert result.shipped_fraction < 0.75, name
+
+
+def test_population_strategy_barely_ships_at_low_load_large_delay():
+    """End-to-end pin for the 0.5s-delay low-load overshipping bug."""
+    from repro.core import STRATEGIES
+    from repro.hybrid import HybridSystem
+
+    config = paper_config(total_rate=5.0, comm_delay=0.5,
+                          warmup_time=15.0, measure_time=45.0)
+    result = HybridSystem(
+        config, STRATEGIES["min-average-population"](config)).run()
+    assert result.shipped_fraction < 0.15

@@ -1,0 +1,61 @@
+"""Tests for the sender-initiated literature baseline."""
+
+import pytest
+
+from repro.core import STRATEGIES, SenderInitiatedRouter
+from repro.core.router import RoutingObservation
+from repro.db import Placement
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.protocol import CentralSnapshot
+
+
+def obs(q_local=0, q_central=0):
+    return RoutingObservation(
+        now=1.0, site=0, local_queue_length=q_local, local_n_txns=0,
+        local_locks_held=0, shipped_in_flight=0,
+        central=CentralSnapshot(time=0.5, queue_length=q_central,
+                                n_txns=0, locks_held=0))
+
+
+def test_threshold_validated():
+    with pytest.raises(ValueError):
+        SenderInitiatedRouter(0)
+
+
+def test_ships_at_threshold():
+    router = SenderInitiatedRouter(2)
+    assert router.decide(None, obs(q_local=1)) is Placement.LOCAL
+    assert router.decide(None, obs(q_local=2)) is Placement.SHIPPED
+    assert router.decide(None, obs(q_local=5)) is Placement.SHIPPED
+
+
+def test_ignores_central_state():
+    """The classic sender-initiated policy uses no remote information."""
+    router = SenderInitiatedRouter(2)
+    busy_central = obs(q_local=3, q_central=100)
+    assert router.decide(None, busy_central) is Placement.SHIPPED
+
+
+def test_name_carries_threshold():
+    assert "T=3" in SenderInitiatedRouter(3).name
+
+
+def test_registered_strategy_end_to_end():
+    config = paper_config(total_rate=22.0, warmup_time=10.0,
+                          measure_time=40.0)
+    result = HybridSystem(config, STRATEGIES["sender-initiated"](config)
+                          ).run()
+    assert result.throughput == pytest.approx(22.0, rel=0.15)
+    assert 0.0 < result.shipped_fraction < 1.0
+
+
+def test_weaker_than_analytic_schemes_at_high_load():
+    """The baseline lacks MIPS/delay awareness; the paper's analytic
+    schemes should beat it when those factors matter."""
+    config = paper_config(total_rate=30.0, warmup_time=20.0,
+                          measure_time=60.0)
+    baseline = HybridSystem(
+        config, STRATEGIES["sender-initiated"](config)).run()
+    analytic = HybridSystem(
+        config, STRATEGIES["min-average-queue"](config)).run()
+    assert analytic.mean_response_time < baseline.mean_response_time

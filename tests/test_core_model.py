@@ -1,0 +1,177 @@
+"""Unit tests for the analytical model (repro.core.model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AnalyticModel, ContentionState
+from repro.hybrid import paper_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticModel(paper_config(total_rate=10.0))
+
+
+def zero_contention(t_local=0.5, t_central=0.5):
+    return ContentionState(
+        rho_local=0.0, rho_central=0.0,
+        p_wait_local=0.0, p_wait_central=0.0, p_wait_auth=0.0,
+        p_abort_local=0.0, p_abort_local_rerun=0.0,
+        p_abort_central=0.0, p_abort_central_rerun=0.0,
+        t_local=t_local, t_central=t_central)
+
+
+# ---------------------------------------------------------------------------
+# Structural formulas
+# ---------------------------------------------------------------------------
+
+def test_zero_load_local_response(model):
+    """At zero load the local RT is pure CPU + I/O."""
+    config = model.config
+    response = model.response_local(zero_contention())
+    expected = (config.io_initial +
+                config.cpu_seconds_local(config.instr_txn_overhead) +
+                config.cpu_seconds_local(10 * config.instr_per_db_call +
+                                         config.instr_commit) +
+                10 * config.io_per_db_call)
+    assert response == pytest.approx(expected)
+
+
+def test_zero_load_central_response_includes_delays(model):
+    """Shipped RT always pays two one-way delays plus the auth round trip."""
+    response = model.response_central(zero_contention())
+    # 2 x 0.2 (in/out) + 2 x 0.2 (authentication) = 0.8s floor.
+    assert response > 0.8
+
+
+def test_local_response_grows_with_utilization(model):
+    low = model.response_local(zero_contention())
+    state = ContentionState(
+        rho_local=0.8, rho_central=0.0,
+        p_wait_local=0.0, p_wait_central=0.0, p_wait_auth=0.0,
+        p_abort_local=0.0, p_abort_local_rerun=0.0,
+        p_abort_central=0.0, p_abort_central_rerun=0.0,
+        t_local=0.5, t_central=0.5)
+    assert model.response_local(state) > low
+
+
+def test_local_response_grows_with_abort_probability(model):
+    base = zero_contention()
+    aborting = ContentionState(
+        rho_local=0.0, rho_central=0.0,
+        p_wait_local=0.0, p_wait_central=0.0, p_wait_auth=0.0,
+        p_abort_local=0.5, p_abort_local_rerun=0.1,
+        p_abort_central=0.0, p_abort_central_rerun=0.0,
+        t_local=0.5, t_central=0.5)
+    assert model.response_local(aborting) > model.response_local(base)
+
+
+def test_response_average_weights(model):
+    state = zero_contention()
+    r_l = model.response_local(state)
+    r_c = model.response_central(state)
+    # p_ship = 0: weights are p_local for local, 1 - p_local for central.
+    avg = model.response_average(state, p_ship=0.0)
+    assert avg == pytest.approx(0.75 * r_l + 0.25 * r_c)
+    # p_ship = 1: everything runs centrally.
+    avg_all_ship = model.response_average(state, p_ship=1.0)
+    assert avg_all_ship == pytest.approx(r_c)
+
+
+def test_auth_window_floor_is_round_trip(model):
+    assert model.auth_window(0.0) >= 2 * model.delay
+
+
+def test_rho_auth_fallback():
+    state = zero_contention()
+    assert state.rho_for_auth == state.rho_local
+    with_auth = ContentionState(
+        rho_local=0.9, rho_central=0.0,
+        p_wait_local=0.0, p_wait_central=0.0, p_wait_auth=0.0,
+        p_abort_local=0.0, p_abort_local_rerun=0.0,
+        p_abort_central=0.0, p_abort_central_rerun=0.0,
+        t_local=0.5, t_central=0.5, rho_auth=0.2)
+    assert with_auth.rho_for_auth == 0.2
+
+
+def test_class_b_masters_expected_count(model):
+    # 10 references uniform over 10 databases: 10 * (1 - 0.9^10) ~ 6.51.
+    assert model.class_b_masters == pytest.approx(6.513, abs=0.01)
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point evaluation
+# ---------------------------------------------------------------------------
+
+def test_evaluate_validates_inputs(model):
+    with pytest.raises(ValueError):
+        model.evaluate(-0.1, 1.0)
+    with pytest.raises(ValueError):
+        model.evaluate(1.1, 1.0)
+    with pytest.raises(ValueError):
+        model.evaluate(0.5, 0.0)
+
+
+def test_evaluate_converges_at_moderate_load(model):
+    estimate = model.evaluate(p_ship=0.3, rate_per_site=1.5)
+    assert estimate.converged
+    assert estimate.response_average > 0
+
+
+def test_shipping_relieves_local_utilization(model):
+    none = model.evaluate(0.0, 2.0)
+    half = model.evaluate(0.5, 2.0)
+    assert half.contention.rho_local < none.contention.rho_local
+    assert half.contention.rho_central > none.contention.rho_central
+
+
+def test_overload_reported_not_converged(model):
+    estimate = model.evaluate(p_ship=0.0, rate_per_site=3.0)
+    # 3 local tps x 0.48s of CPU per txn >> 1 MIPS: locally unstable.
+    assert not estimate.converged or \
+        estimate.contention.rho_local > 0.9
+    assert estimate.response_average > model.evaluate(
+        0.0, 1.0).response_average
+
+
+def test_matches_simulation_at_moderate_load():
+    """Model vs simulator: within 15% at 15 tps, no load sharing.
+
+    (The simulator measured 1.56s at this point; see EXPERIMENTS.md.)
+    """
+    config = paper_config(total_rate=15.0)
+    model = AnalyticModel(config)
+    estimate = model.evaluate(p_ship=0.0, rate_per_site=1.5)
+    assert estimate.response_average == pytest.approx(1.47, rel=0.15)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.1, max_value=2.0))
+@settings(max_examples=25, deadline=None)
+def test_estimates_always_finite_and_positive(p_ship, rate):
+    model = AnalyticModel(paper_config(total_rate=10.0))
+    estimate = model.evaluate(p_ship, rate)
+    assert estimate.response_local > 0
+    assert estimate.response_central > 0
+    assert estimate.response_average > 0
+    assert estimate.response_average < 1e9
+    contention = estimate.contention
+    for probability in (contention.p_wait_local, contention.p_wait_central,
+                        contention.p_wait_auth, contention.p_abort_local,
+                        contention.p_abort_central):
+        assert 0.0 <= probability <= 0.95
+
+
+def test_larger_delay_raises_central_response():
+    near = AnalyticModel(paper_config(total_rate=10.0, comm_delay=0.2))
+    far = AnalyticModel(paper_config(total_rate=10.0, comm_delay=0.5))
+    assert far.evaluate(0.5, 1.0).response_central > \
+        near.evaluate(0.5, 1.0).response_central
+
+
+def test_faster_central_lowers_central_response():
+    slow = AnalyticModel(paper_config(total_rate=10.0, central_mips=5.0))
+    fast = AnalyticModel(paper_config(total_rate=10.0, central_mips=30.0))
+    assert fast.evaluate(0.5, 1.0).response_central < \
+        slow.evaluate(0.5, 1.0).response_central

@@ -1,0 +1,96 @@
+"""Property tests of the analytic model's qualitative structure.
+
+These encode the monotone relationships the paper's discussion relies
+on: response time increases with load, shipping relieves the local
+sites, a faster network makes shipping cheaper, and the static optimum
+interpolates the pure policies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AnalyticModel
+from repro.hybrid import paper_config
+
+MODEL = AnalyticModel(paper_config(total_rate=10.0))
+
+stable_rates = st.floats(min_value=0.2, max_value=1.8)
+ships = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(ships, stable_rates)
+@settings(max_examples=20, deadline=None)
+def test_response_increases_with_rate(p_ship, rate):
+    low = MODEL.evaluate(p_ship, rate).response_average
+    high = MODEL.evaluate(p_ship, rate * 1.4).response_average
+    assert high >= low - 1e-6
+
+
+@given(stable_rates)
+@settings(max_examples=20, deadline=None)
+def test_local_response_decreases_with_shipping(rate):
+    """Shipping strictly relieves retained local transactions."""
+    retained_heavy = MODEL.evaluate(0.1, rate).response_local
+    retained_light = MODEL.evaluate(0.8, rate).response_local
+    assert retained_light <= retained_heavy + 1e-6
+
+
+@given(stable_rates)
+@settings(max_examples=20, deadline=None)
+def test_central_utilization_increases_with_shipping(rate):
+    low = MODEL.evaluate(0.1, rate).contention.rho_central
+    high = MODEL.evaluate(0.8, rate).contention.rho_central
+    assert high >= low
+
+
+@given(ships)
+@settings(max_examples=15, deadline=None)
+def test_shorter_delay_cheaper_central(p_ship):
+    near = AnalyticModel(paper_config(total_rate=10.0, comm_delay=0.1))
+    far = AnalyticModel(paper_config(total_rate=10.0, comm_delay=0.8))
+    assert near.evaluate(p_ship, 1.0).response_central <= \
+        far.evaluate(p_ship, 1.0).response_central
+
+
+@given(stable_rates)
+@settings(max_examples=15, deadline=None)
+def test_average_bounded_by_components(rate):
+    estimate = MODEL.evaluate(0.4, rate)
+    low = min(estimate.response_local, estimate.response_central)
+    high = max(estimate.response_local, estimate.response_central)
+    assert low - 1e-9 <= estimate.response_average <= high + 1e-9
+
+
+def test_static_optimum_interpolates():
+    """At moderate load the optimum is strictly interior and no worse
+    than both endpoints."""
+    from repro.core import optimize_static
+
+    config = paper_config(total_rate=18.0)
+    optimum = optimize_static(config)
+    model = AnalyticModel(config)
+    rate = config.workload.arrival_rate_per_site
+    endpoint_best = min(model.evaluate(0.0, rate).response_average,
+                        model.evaluate(1.0, rate).response_average)
+    assert optimum.response_average <= endpoint_best + 1e-9
+    assert 0.0 < optimum.p_ship < 1.0
+
+
+@given(st.floats(min_value=0.05, max_value=0.95),
+       stable_rates)
+@settings(max_examples=20, deadline=None)
+def test_abort_probabilities_grow_with_rate(p_ship, rate):
+    low = MODEL.evaluate(p_ship, rate).contention
+    high = MODEL.evaluate(p_ship, min(rate * 1.5, 2.2)).contention
+    assert high.p_abort_local >= low.p_abort_local - 1e-9
+    assert high.p_abort_central >= low.p_abort_central - 1e-9
+
+
+def test_nak_probability_grows_with_delay():
+    """Longer in-flight windows raise the NAK component of central aborts."""
+    near = AnalyticModel(paper_config(total_rate=15.0, comm_delay=0.1))
+    far = AnalyticModel(paper_config(total_rate=15.0, comm_delay=1.0))
+    p_near = near.evaluate(0.3, 1.5).contention.p_abort_central
+    p_far = far.evaluate(0.3, 1.5).contention.p_abort_central
+    assert p_far > p_near

@@ -1,0 +1,132 @@
+"""Unit and property tests for the waits-for graph (repro.db.deadlock)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import WaitsForGraph
+
+
+def test_empty_graph_no_deadlock():
+    graph = WaitsForGraph()
+    assert graph.would_deadlock(1, [2]) is None
+
+
+def test_self_wait_ignored():
+    graph = WaitsForGraph()
+    assert graph.would_deadlock(1, [1]) is None
+    graph.add_waiter(1, [1])
+    assert graph.waits_for(1) == frozenset()
+
+
+def test_direct_cycle_detected():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    cycle = graph.would_deadlock(2, [1])
+    assert cycle is not None
+    assert cycle[0] == 1 and cycle[-1] == 2
+
+
+def test_long_cycle_detected():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(2, [3])
+    graph.add_waiter(3, [4])
+    assert graph.would_deadlock(4, [1]) is not None
+
+
+def test_chain_is_not_cycle():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(2, [3])
+    assert graph.would_deadlock(4, [1]) is None
+
+
+def test_would_deadlock_does_not_mutate():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.would_deadlock(2, [1])
+    assert graph.waits_for(2) == frozenset()
+
+
+def test_remove_clears_edges_both_directions():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(3, [1])
+    graph.remove(1)
+    assert graph.waits_for(1) == frozenset()
+    assert graph.waits_for(3) == frozenset()
+
+
+def test_diamond_no_false_positive():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2, 3])
+    graph.add_waiter(2, [4])
+    graph.add_waiter(3, [4])
+    assert graph.would_deadlock(4, [5]) is None
+
+
+def test_diamond_cycle_detected():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2, 3])
+    graph.add_waiter(2, [4])
+    graph.add_waiter(3, [4])
+    assert graph.would_deadlock(4, [1]) is not None
+
+
+def test_has_cycle_false_on_dag():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(2, [3])
+    assert not graph.has_cycle()
+
+
+def test_has_cycle_true_on_loop():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(2, [1])
+    assert graph.has_cycle()
+
+
+def test_len_counts_active_waiters():
+    graph = WaitsForGraph()
+    graph.add_waiter(1, [2])
+    graph.add_waiter(3, [4])
+    assert len(graph) == 2
+    graph.remove(1)
+    assert len(graph) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)),
+                max_size=40))
+def test_dag_insertion_never_reports_deadlock_for_fresh_node(edges):
+    """A brand-new waiter with no incoming edges can never close a cycle."""
+    graph = WaitsForGraph()
+    for waiter, blocker in edges:
+        if waiter != blocker:
+            graph.add_waiter(waiter, [blocker])
+    assert graph.would_deadlock(999, [0]) is None
+
+
+@given(st.integers(2, 30))
+def test_ring_of_n_detects_cycle_only_at_closure(n):
+    graph = WaitsForGraph()
+    for i in range(n - 1):
+        assert graph.would_deadlock(i, [i + 1]) is None
+        graph.add_waiter(i, [i + 1])
+    cycle = graph.would_deadlock(n - 1, [0])
+    assert cycle is not None
+    # The returned path runs from the new blocker (0) back to the waiter.
+    assert cycle[0] == 0 and cycle[-1] == n - 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                max_size=30))
+def test_would_deadlock_consistent_with_has_cycle(edges):
+    """If would_deadlock says safe, committing the edges keeps the DAG."""
+    graph = WaitsForGraph()
+    for waiter, blocker in edges:
+        if waiter == blocker:
+            continue
+        if graph.would_deadlock(waiter, [blocker]) is None:
+            graph.add_waiter(waiter, [blocker])
+    assert not graph.has_cycle()

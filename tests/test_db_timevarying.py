@@ -1,0 +1,126 @@
+"""Tests for time-varying arrival processes (repro.db.timevarying)."""
+
+import pytest
+
+from repro.core.router import AlwaysLocalRouter
+from repro.db import TransactionFactory, WorkloadParams
+from repro.db.timevarying import (
+    PiecewiseArrivalProcess,
+    RateProfile,
+    attach_profiles,
+)
+from repro.hybrid import HybridSystem, paper_config
+from repro.sim import Environment, RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# RateProfile
+# ---------------------------------------------------------------------------
+
+def test_constant_profile():
+    profile = RateProfile.constant(2.0)
+    assert profile.multiplier_at(0.0) == 2.0
+    assert profile.multiplier_at(1e9) == 2.0
+    assert profile.next_change_after(5.0) == float("inf")
+
+
+def test_step_profile():
+    profile = RateProfile.step(at=10.0, before=1.0, after=3.0)
+    assert profile.multiplier_at(9.99) == 1.0
+    assert profile.multiplier_at(10.0) == 3.0
+    assert profile.next_change_after(5.0) == 10.0
+    assert profile.next_change_after(10.0) == float("inf")
+
+
+def test_multi_segment_profile():
+    profile = RateProfile(breakpoints=(10.0, 20.0),
+                          multipliers=(1.0, 2.0, 0.5))
+    assert profile.multiplier_at(5.0) == 1.0
+    assert profile.multiplier_at(15.0) == 2.0
+    assert profile.multiplier_at(25.0) == 0.5
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        RateProfile(breakpoints=(1.0,), multipliers=(1.0,))
+    with pytest.raises(ValueError):
+        RateProfile(breakpoints=(2.0, 1.0), multipliers=(1.0, 1.0, 1.0))
+    with pytest.raises(ValueError):
+        RateProfile(breakpoints=(1.0,), multipliers=(1.0, 0.0))
+    with pytest.raises(ValueError):
+        RateProfile(breakpoints=(-1.0,), multipliers=(1.0, 2.0))
+
+
+def test_mean_multiplier():
+    profile = RateProfile(breakpoints=(10.0,), multipliers=(1.0, 3.0))
+    assert profile.mean_multiplier(20.0) == pytest.approx(2.0)
+    assert profile.mean_multiplier(10.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        profile.mean_multiplier(0.0)
+
+
+# ---------------------------------------------------------------------------
+# PiecewiseArrivalProcess
+# ---------------------------------------------------------------------------
+
+def _count_arrivals(profile, horizon=400.0, base_rate=2.0):
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=base_rate)
+    streams = RandomStreams(seed=17)
+    factory = TransactionFactory(params, streams)
+    arrivals = []
+    PiecewiseArrivalProcess(env, site=0, factory=factory, streams=streams,
+                            submit=arrivals.append, profile=profile)
+    env.run(until=horizon)
+    return arrivals
+
+
+def test_constant_profile_matches_stationary_rate():
+    arrivals = _count_arrivals(RateProfile.constant(1.0))
+    assert len(arrivals) / 400.0 == pytest.approx(2.0, rel=0.1)
+
+
+def test_step_profile_changes_rate():
+    profile = RateProfile.step(at=200.0, before=1.0, after=4.0)
+    arrivals = _count_arrivals(profile)
+    first = sum(1 for t in arrivals if t.arrival_time < 200.0)
+    second = sum(1 for t in arrivals if t.arrival_time >= 200.0)
+    assert first / 200.0 == pytest.approx(2.0, rel=0.15)
+    assert second / 200.0 == pytest.approx(8.0, rel=0.15)
+
+
+def test_surge_and_recovery():
+    profile = RateProfile(breakpoints=(100.0, 200.0),
+                          multipliers=(1.0, 5.0, 1.0))
+    arrivals = _count_arrivals(profile, horizon=300.0)
+    surge = sum(1 for t in arrivals
+                if 100.0 <= t.arrival_time < 200.0)
+    tail = sum(1 for t in arrivals if t.arrival_time >= 200.0)
+    assert surge / 100.0 == pytest.approx(10.0, rel=0.15)
+    assert tail / 100.0 == pytest.approx(2.0, rel=0.25)
+
+
+# ---------------------------------------------------------------------------
+# attach_profiles on a full system
+# ---------------------------------------------------------------------------
+
+def test_attach_profiles_validates_count():
+    config = paper_config(total_rate=10.0, warmup_time=5.0,
+                          measure_time=20.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    with pytest.raises(ValueError):
+        attach_profiles(system, [RateProfile.constant()])
+
+
+def test_attach_profiles_drives_system():
+    config = paper_config(total_rate=10.0, warmup_time=5.0,
+                          measure_time=55.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    # Double the load at every site from t = 30.
+    profiles = [RateProfile.step(at=30.0, before=1.0, after=2.0)
+                for _ in system.sites]
+    attach_profiles(system, profiles)
+    result = system.run()
+    # Mean rate over the measured window [5, 60]: 10 tps for 25 s then
+    # 20 tps for 30 s  ->  ~15.5 tps.
+    assert result.throughput == pytest.approx(15.5, rel=0.15)

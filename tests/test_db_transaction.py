@@ -1,0 +1,146 @@
+"""Unit tests for transaction records (repro.db.transaction)."""
+
+import pytest
+
+from repro.db import (
+    LockMode,
+    Placement,
+    Reference,
+    Transaction,
+    TransactionClass,
+    TransactionKind,
+    TransactionState,
+    new_transaction_ids,
+)
+
+
+def make_txn(txn_class=TransactionClass.A, references=None):
+    if references is None:
+        references = (Reference(1, LockMode.EXCLUSIVE),
+                      Reference(2, LockMode.SHARE))
+    return Transaction(txn_id=1, txn_class=txn_class, home_site=0,
+                       references=references, arrival_time=10.0)
+
+
+def test_id_source_monotonic():
+    ids = new_transaction_ids()
+    assert [next(ids) for _ in range(3)] == [1, 2, 3]
+
+
+def test_route_class_a_local():
+    txn = make_txn()
+    txn.route(Placement.LOCAL)
+    assert txn.is_local and not txn.runs_centrally
+
+
+def test_route_class_a_shipped():
+    txn = make_txn()
+    txn.route(Placement.SHIPPED)
+    assert txn.runs_centrally and not txn.is_local
+
+
+def test_route_class_a_central_rejected():
+    txn = make_txn()
+    with pytest.raises(ValueError):
+        txn.route(Placement.CENTRAL)
+
+
+def test_route_class_b_must_be_central():
+    txn = make_txn(txn_class=TransactionClass.B)
+    with pytest.raises(ValueError):
+        txn.route(Placement.LOCAL)
+    txn.route(Placement.CENTRAL)
+    assert txn.runs_centrally
+
+
+def test_kind_requires_routing():
+    txn = make_txn()
+    with pytest.raises(ValueError):
+        txn.kind()
+
+
+@pytest.mark.parametrize("placement,runs,expected", [
+    (Placement.LOCAL, 1, TransactionKind.LOCAL_NEW),
+    (Placement.LOCAL, 2, TransactionKind.LOCAL_RERUN),
+    (Placement.SHIPPED, 1, TransactionKind.SHIPPED_NEW),
+    (Placement.SHIPPED, 3, TransactionKind.SHIPPED_RERUN),
+])
+def test_kind_mapping_class_a(placement, runs, expected):
+    txn = make_txn()
+    txn.route(placement)
+    for _ in range(runs):
+        txn.begin_run(now=11.0)
+    assert txn.kind() is expected
+
+
+@pytest.mark.parametrize("runs,expected", [
+    (1, TransactionKind.CENTRAL_NEW),
+    (2, TransactionKind.CENTRAL_RERUN),
+])
+def test_kind_mapping_class_b(runs, expected):
+    txn = make_txn(txn_class=TransactionClass.B)
+    txn.route(Placement.CENTRAL)
+    for _ in range(runs):
+        txn.begin_run(now=11.0)
+    assert txn.kind() is expected
+
+
+def test_begin_run_clears_abort_mark():
+    txn = make_txn()
+    txn.route(Placement.LOCAL)
+    txn.begin_run(now=11.0)
+    txn.mark_for_abort("invalidated")
+    assert txn.marked_for_abort
+    txn.begin_run(now=12.0)
+    assert not txn.marked_for_abort
+    assert txn.abort_reason is None
+
+
+def test_first_run_timestamp_preserved_across_reruns():
+    txn = make_txn()
+    txn.route(Placement.LOCAL)
+    txn.begin_run(now=11.0)
+    txn.begin_run(now=20.0)
+    assert txn.first_run_started_at == 11.0
+
+
+def test_response_time():
+    txn = make_txn()
+    txn.complete(now=15.5)
+    assert txn.response_time == pytest.approx(5.5)
+    assert txn.state is TransactionState.COMMITTED
+
+
+def test_response_time_before_completion_raises():
+    txn = make_txn()
+    with pytest.raises(ValueError):
+        _ = txn.response_time
+
+
+def test_record_abort_counters():
+    txn = make_txn()
+    txn.record_abort()
+    txn.record_abort(deadlock=True)
+    assert txn.aborts == 2
+    assert txn.deadlock_aborts == 1
+    assert txn.state is TransactionState.ABORTED
+
+
+def test_update_entities_only_exclusive():
+    txn = make_txn()
+    assert txn.update_entities == (1,)
+    assert txn.entities == (1, 2)
+
+
+def test_is_rerun():
+    txn = make_txn()
+    txn.route(Placement.LOCAL)
+    txn.begin_run(now=0)
+    assert not txn.is_rerun
+    txn.begin_run(now=1)
+    assert txn.is_rerun
+
+
+def test_reference_is_update():
+    assert Reference(5, LockMode.EXCLUSIVE).is_update
+    assert not Reference(5, LockMode.SHARE).is_update

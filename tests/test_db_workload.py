@@ -1,0 +1,233 @@
+"""Unit and property tests for workload generation (repro.db.workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    ArrivalProcess,
+    LockMode,
+    LockSpacePartition,
+    TransactionClass,
+    TransactionFactory,
+    WorkloadParams,
+)
+from repro.sim import Environment, RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# WorkloadParams validation
+# ---------------------------------------------------------------------------
+
+def test_default_params_match_paper():
+    params = WorkloadParams()
+    assert params.n_sites == 10
+    assert params.lockspace == 32 * 1024
+    assert params.locks_per_txn == 10
+    assert params.p_local == 0.75
+
+
+def test_total_arrival_rate():
+    params = WorkloadParams(arrival_rate_per_site=2.0, n_sites=10)
+    assert params.total_arrival_rate == pytest.approx(20.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_sites": 0},
+    {"p_local": 1.5},
+    {"p_local": -0.1},
+    {"p_update": 2.0},
+    {"locks_per_txn": -1},
+    {"arrival_rate_per_site": 0.0},
+    {"lockspace": 5, "n_sites": 10},
+])
+def test_invalid_params_rejected(kwargs):
+    with pytest.raises(ValueError):
+        WorkloadParams(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# LockSpacePartition
+# ---------------------------------------------------------------------------
+
+def test_partition_ranges_disjoint_and_ordered():
+    partition = LockSpacePartition(32 * 1024, 10)
+    previous_end = 0
+    for site in range(10):
+        start, end = partition.site_range(site)
+        assert start == previous_end
+        assert end - start == 3276
+        previous_end = end
+
+
+def test_partition_owner_roundtrip():
+    partition = LockSpacePartition(1000, 4)
+    for site in range(4):
+        start, end = partition.site_range(site)
+        assert partition.owner(start) == site
+        assert partition.owner(end - 1) == site
+
+
+def test_partition_unowned_tail():
+    partition = LockSpacePartition(32 * 1024, 10)
+    # 32768 - 10*3276 = 8 tail entities owned by nobody
+    assert partition.owner(32767) is None
+
+
+def test_partition_out_of_range_entity():
+    partition = LockSpacePartition(100, 2)
+    with pytest.raises(ValueError):
+        partition.owner(100)
+    with pytest.raises(ValueError):
+        partition.site_range(2)
+
+
+def test_owners_of_collection():
+    partition = LockSpacePartition(1000, 4)
+    assert partition.owners([0, 1, 251, 999]) == {0, 1, 3}
+
+
+@given(st.integers(1, 50), st.integers(1, 1000))
+def test_partition_every_entity_owned_or_tail(n_sites, extra):
+    lockspace = n_sites * extra
+    partition = LockSpacePartition(lockspace, n_sites)
+    owner = partition.owner(lockspace - 1)
+    assert owner is None or 0 <= owner < n_sites
+
+
+# ---------------------------------------------------------------------------
+# TransactionFactory
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def factory():
+    params = WorkloadParams()
+    return TransactionFactory(params, RandomStreams(seed=1234))
+
+
+def test_factory_reference_count(factory):
+    txn = factory.make_transaction(site=3, now=1.0)
+    assert len(txn.references) == 10
+
+
+def test_factory_distinct_entities(factory):
+    for _ in range(50):
+        txn = factory.make_transaction(site=0, now=0.0)
+        entities = [ref.entity for ref in txn.references]
+        assert len(set(entities)) == len(entities)
+
+
+def test_class_a_entities_in_home_partition(factory):
+    partition = factory.partition
+    for _ in range(200):
+        txn = factory.make_transaction(site=4, now=0.0)
+        if txn.txn_class is TransactionClass.A:
+            start, end = partition.site_range(4)
+            assert all(start <= ref.entity < end for ref in txn.references)
+
+
+def test_class_b_entities_span_space():
+    params = WorkloadParams(p_local=0.0)  # all class B
+    factory = TransactionFactory(params, RandomStreams(seed=5))
+    seen_outside_home = False
+    for _ in range(50):
+        txn = factory.make_transaction(site=0, now=0.0)
+        assert txn.txn_class is TransactionClass.B
+        start, end = factory.partition.site_range(0)
+        if any(not (start <= ref.entity < end) for ref in txn.references):
+            seen_outside_home = True
+    assert seen_outside_home
+
+
+def test_class_mix_close_to_p_local():
+    params = WorkloadParams(p_local=0.75)
+    factory = TransactionFactory(params, RandomStreams(seed=9))
+    classes = [factory.make_transaction(0, 0.0).txn_class
+               for _ in range(4000)]
+    fraction_a = sum(1 for c in classes if c is TransactionClass.A) / 4000
+    assert fraction_a == pytest.approx(0.75, abs=0.03)
+
+
+def test_all_exclusive_by_default(factory):
+    txn = factory.make_transaction(site=0, now=0.0)
+    assert all(ref.mode is LockMode.EXCLUSIVE for ref in txn.references)
+
+
+def test_p_update_mix():
+    params = WorkloadParams(p_update=0.5)
+    factory = TransactionFactory(params, RandomStreams(seed=7))
+    modes = []
+    for _ in range(400):
+        txn = factory.make_transaction(site=0, now=0.0)
+        modes.extend(ref.mode for ref in txn.references)
+    fraction_x = sum(1 for m in modes if m is LockMode.EXCLUSIVE) / len(modes)
+    assert fraction_x == pytest.approx(0.5, abs=0.05)
+
+
+def test_ids_unique_and_increasing(factory):
+    ids = [factory.make_transaction(0, 0.0).txn_id for _ in range(10)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 10
+
+
+def test_factory_deterministic_for_seed():
+    def draw(seed):
+        factory = TransactionFactory(WorkloadParams(), RandomStreams(seed))
+        return [(t.txn_class, t.entities)
+                for t in (factory.make_transaction(0, 0.0)
+                          for _ in range(20))]
+    assert draw(42) == draw(42)
+    assert draw(42) != draw(43)
+
+
+def test_arrival_time_stamped(factory):
+    txn = factory.make_transaction(site=2, now=99.5)
+    assert txn.arrival_time == 99.5
+    assert txn.home_site == 2
+
+
+# ---------------------------------------------------------------------------
+# ArrivalProcess
+# ---------------------------------------------------------------------------
+
+def test_arrival_process_rate():
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=5.0)
+    streams = RandomStreams(seed=21)
+    factory = TransactionFactory(params, streams)
+    arrivals = []
+    ArrivalProcess(env, site=0, factory=factory, streams=streams,
+                   submit=arrivals.append)
+    env.run(until=400)
+    rate = len(arrivals) / 400
+    assert rate == pytest.approx(5.0, rel=0.1)
+
+
+def test_arrival_interarrivals_exponential():
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=2.0)
+    streams = RandomStreams(seed=3)
+    factory = TransactionFactory(params, streams)
+    times = []
+    ArrivalProcess(env, site=0, factory=factory, streams=streams,
+                   submit=lambda txn: times.append(txn.arrival_time))
+    env.run(until=1000)
+    gaps = np.diff(times)
+    # Exponential: std ~= mean.
+    assert np.std(gaps) == pytest.approx(np.mean(gaps), rel=0.1)
+
+
+def test_two_sites_independent_streams():
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=3.0)
+    streams = RandomStreams(seed=8)
+    factory = TransactionFactory(params, streams)
+    per_site = {0: [], 1: []}
+    for site in (0, 1):
+        ArrivalProcess(env, site=site, factory=factory, streams=streams,
+                       submit=lambda t, s=site: per_site[s].append(
+                           t.arrival_time))
+    env.run(until=100)
+    assert per_site[0] != per_site[1]
+    assert len(per_site[0]) > 0 and len(per_site[1]) > 0

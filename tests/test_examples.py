@@ -1,0 +1,72 @@
+"""Sanity checks for the example scripts.
+
+The examples are long-running demonstrations, so these tests verify they
+compile, document themselves, expose a ``main`` entry point, and use
+only public API imports -- without executing the full simulations (the
+examples' actual behaviour is covered by the strategy/system tests).
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text(encoding="utf-8")
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring_and_run_instructions(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"{path.name} lacks a module docstring"
+    assert "Run:" in docstring, f"{path.name} lacks run instructions"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_defines_main_guard(path):
+    source = path.read_text(encoding="utf-8")
+    assert 'if __name__ == "__main__":' in source
+    assert "def main(" in source
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples should demonstrate the public surface, not internals."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("repro"):
+                for alias in node.names:
+                    assert not alias.name.startswith("_"), \
+                        f"{path.name} imports private {alias.name}"
+
+
+def test_quickstart_runs_fast_path(monkeypatch, capsys):
+    """Execute quickstart.py with a drastically shortened horizon."""
+    import repro
+
+    source = (EXAMPLES_DIR / "quickstart.py").read_text(encoding="utf-8")
+    real_paper_config = repro.paper_config
+
+    def quick_config(*args, **kwargs):
+        kwargs["warmup_time"] = 2.0
+        kwargs["measure_time"] = 8.0
+        return real_paper_config(*args, **kwargs)
+
+    namespace = {"__name__": "__main__"}
+    monkeypatch.setattr(repro, "paper_config", quick_config)
+    exec(compile(source, "quickstart.py", "exec"), namespace)
+    out = capsys.readouterr().out
+    assert "strategy" in out
+    assert "min-average-population" in out

@@ -1,0 +1,180 @@
+"""Tests for SiteBase mechanics and HybridSystem assembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.router import AlwaysLocalRouter
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.base import SiteBase
+from repro.sim import Environment, Link, Message
+
+
+# ---------------------------------------------------------------------------
+# SiteBase
+# ---------------------------------------------------------------------------
+
+def make_site(mips=2.0):
+    env = Environment()
+    config = paper_config(total_rate=10.0)
+    return env, SiteBase(env, config, mips=mips, name="test-site")
+
+
+def test_service_time_scales_with_mips():
+    _, site = make_site(mips=2.0)
+    assert site.service_time(2_000_000) == pytest.approx(1.0)
+    _, fast = make_site(mips=20.0)
+    assert fast.service_time(2_000_000) == pytest.approx(0.1)
+
+
+def test_cpu_burst_holds_cpu_for_service_time():
+    env, site = make_site(mips=1.0)
+    done = []
+
+    def worker(env):
+        yield from site.cpu_burst(500_000)
+        done.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert done == [0.5]
+
+
+def test_zero_instruction_burst_is_free():
+    env, site = make_site()
+    done = []
+
+    def worker(env):
+        yield from site.cpu_burst(0)
+        done.append(env.now)
+        yield env.timeout(0)
+
+    env.process(worker(env))
+    env.run()
+    assert done == [0.0]
+    assert site.cpu.count == 0
+
+
+def test_bursts_serialize_on_one_cpu():
+    env, site = make_site(mips=1.0)
+    ends = []
+
+    def worker(env):
+        yield from site.cpu_burst(1_000_000)
+        ends.append(env.now)
+
+    env.process(worker(env))
+    env.process(worker(env))
+    env.run()
+    assert ends == [1.0, 2.0]
+
+
+def test_io_wait_does_not_hold_cpu():
+    env, site = make_site()
+    samples = []
+
+    def sleeper(env):
+        yield from site.io_wait(5.0)
+
+    def sampler(env):
+        yield env.timeout(1.0)
+        samples.append(site.cpu.count)
+
+    env.process(sleeper(env))
+    env.process(sampler(env))
+    env.run()
+    assert samples == [0]
+
+
+def test_cpu_queue_length_property():
+    env, site = make_site(mips=1.0)
+
+    def worker(env):
+        yield from site.cpu_burst(1_000_000)
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run(until=0.5)
+    assert site.cpu_queue_length == 3  # 1 running + 2 queued
+
+
+# ---------------------------------------------------------------------------
+# HybridSystem assembly
+# ---------------------------------------------------------------------------
+
+def test_system_builds_expected_topology():
+    config = paper_config(total_rate=10.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    assert len(system.sites) == 10
+    assert len(system.routers) == 10
+    assert len(system.arrivals) == 10
+    assert len(system.central.to_sites) == 10
+    assert len(system.central.from_sites) == 10
+    assert system.strategy_name == "no-load-sharing"
+
+
+def test_per_site_router_instances_are_distinct():
+    config = paper_config(total_rate=10.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    assert len({id(router) for router in system.routers}) == 10
+
+
+def test_population_properties_start_empty():
+    config = paper_config(total_rate=10.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    assert system.n_local_total == 0
+    assert system.n_central == 0
+
+
+def test_seed_override_beats_config_seed():
+    config = paper_config(total_rate=10.0, warmup_time=5.0,
+                          measure_time=20.0, seed=1)
+    a = HybridSystem(config, lambda c, i: AlwaysLocalRouter(),
+                     seed=777).run()
+    b = HybridSystem(config, lambda c, i: AlwaysLocalRouter(),
+                     seed=777).run()
+    c = HybridSystem(config, lambda c, i: AlwaysLocalRouter()).run()
+    assert a.mean_response_time == b.mean_response_time
+    assert a.seed == 777
+    assert c.seed == 1
+    assert a.mean_response_time != c.mean_response_time
+
+
+def test_links_use_configured_delay():
+    config = paper_config(total_rate=10.0, comm_delay=0.37)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    for site in system.sites:
+        assert site.to_central.delay == pytest.approx(0.37)
+        assert site.from_central.delay == pytest.approx(0.37)
+
+
+# ---------------------------------------------------------------------------
+# Link FIFO property
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0,
+                          allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_link_delivery_preserves_send_order(send_offsets):
+    env = Environment()
+    link = Link(env, delay=0.5)
+    received = []
+
+    def consumer(env):
+        while True:
+            message = yield link.mailbox.get()
+            received.append(message.payload)
+
+    env.process(consumer(env))
+
+    def producer(env):
+        previous = 0.0
+        for index, offset in enumerate(sorted(send_offsets)):
+            yield env.timeout(max(offset - previous, 0.0))
+            previous = max(offset, previous)
+            link.send(Message(kind="m", payload=index))
+
+    env.process(producer(env))
+    env.run(until=20.0)
+    assert received == sorted(received)
+    assert len(received) == len(send_offsets)

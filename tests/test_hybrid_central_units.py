@@ -1,0 +1,107 @@
+"""Unit tests for central-site internals (repro.hybrid.central)."""
+
+import itertools
+
+import pytest
+
+from repro.core.router import AlwaysLocalRouter
+from repro.db import LockMode, Placement, Reference, Transaction, \
+    TransactionClass
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.protocol import AuthReply
+
+IDS = itertools.count(70_000)
+
+
+@pytest.fixture
+def system():
+    cfg = paper_config(total_rate=1e-6, warmup_time=0.0,
+                       measure_time=100.0)
+    return HybridSystem(cfg, lambda c, i: AlwaysLocalRouter())
+
+
+def make_txn(entities, txn_class=TransactionClass.B, site=0):
+    txn = Transaction(
+        txn_id=next(IDS), txn_class=txn_class, home_site=site,
+        references=tuple(Reference(e, LockMode.EXCLUSIVE)
+                         for e in entities),
+        arrival_time=0.0)
+    return txn
+
+
+def test_masters_of_groups_by_owner(system):
+    central = system.central
+    partition = system.partition
+    entities = [partition.site_range(0)[0],
+                partition.site_range(0)[0] + 1,
+                partition.site_range(4)[0]]
+    txn = make_txn(entities)
+    txn.route(Placement.CENTRAL)
+    masters = central._masters_of(txn)
+    assert set(masters) == {0, 4}
+    assert len(masters[0]) == 2
+    assert len(masters[4]) == 1
+
+
+def test_masters_of_skips_unowned_tail(system):
+    central = system.central
+    tail_entity = system.config.workload.lockspace - 1
+    assert system.partition.owner(tail_entity) is None
+    txn = make_txn([tail_entity])
+    txn.route(Placement.CENTRAL)
+    assert central._masters_of(txn) == {}
+
+
+def test_masters_of_shipped_asserts_home_only(system):
+    central = system.central
+    start, _ = system.partition.site_range(3)
+    txn = make_txn([start, start + 1], txn_class=TransactionClass.A,
+                   site=3)
+    txn.route(Placement.SHIPPED)
+    masters = central._masters_of(txn)
+    assert set(masters) == {3}
+
+
+def test_unknown_auth_reply_raises(system):
+    reply = AuthReply(auth_id=999, txn_id=1, site=0, granted=True)
+    with pytest.raises(RuntimeError, match="unknown auth round"):
+        system.central._collect_auth_reply(reply)
+
+
+def test_snapshot_reflects_live_state(system):
+    central = system.central
+    snapshot = central.snapshot()
+    assert snapshot.time == system.env.now
+    assert snapshot.queue_length == 0
+    assert snapshot.n_txns == 0
+    assert snapshot.locks_held == 0
+    # Admit a transaction and advance a little: state becomes visible.
+    txn = make_txn([5, 6])
+    txn.route(Placement.CENTRAL)
+    central.admit(txn)
+    system.env.run(until=0.1)
+    busy = central.snapshot()
+    assert busy.n_txns == 1
+    assert busy.locks_held >= 1
+
+
+def test_unknown_payload_type_crashes_dispatcher(system):
+    from repro.sim import Message
+
+    system.sites[0].to_central.send(Message(kind="junk", source=0,
+                                            payload=object()))
+    with pytest.raises(TypeError, match="unexpected payload"):
+        system.env.run(until=1.0)
+
+
+def test_tail_entity_transaction_commits_without_authentication(system):
+    """A class B transaction touching only the unowned tail needs no
+    authentication round at all (no master exists)."""
+    tail = system.config.workload.lockspace - 1
+    txn = make_txn([tail])
+    txn.route(Placement.CENTRAL)
+    system.central.admit(txn)
+    system.env.run(until=5.0)
+    assert txn.completed_at is not None
+    # No authentication messages were sent.
+    assert not system.central._pending_auth

@@ -1,0 +1,96 @@
+"""Tests for the runtime protocol-invariant checker."""
+
+import pytest
+
+from repro.core import STRATEGIES
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.checker import (
+    InvariantChecker,
+    InvariantViolation,
+    attach_checker,
+)
+
+
+def build(strategy="min-average-population", total_rate=18.0, seed=3,
+          **overrides):
+    config = paper_config(total_rate=total_rate, warmup_time=5.0,
+                          measure_time=40.0, seed=seed, **overrides)
+    return HybridSystem(config, STRATEGIES[strategy](config))
+
+
+def test_interval_validated():
+    system = build()
+    with pytest.raises(ValueError):
+        InvariantChecker(system, interval=0.0)
+
+
+@pytest.mark.parametrize("strategy", ["none", "queue-length",
+                                      "min-average-population"])
+def test_clean_run_raises_nothing(strategy):
+    system = build(strategy)
+    checker = attach_checker(system)
+    system.run()
+    assert checker.stats.audits > 50
+    assert checker.stats.completions_checked > 100
+
+
+def test_update_ordering_verified_under_load():
+    system = build("none", total_rate=22.0)
+    checker = attach_checker(system)
+    system.run()
+    # Plenty of asynchronous update batches flowed and were checked.
+    assert checker.stats.updates_checked > 200
+
+
+def test_coherence_counts_observed():
+    system = build("none", total_rate=20.0, comm_delay=0.5)
+    checker = attach_checker(system)
+    system.run()
+    # With a 0.5 s delay updates stack up, so the checker must have seen
+    # non-trivial coherence counts -- proving the audit inspects live
+    # protocol state, not an already-drained system.
+    assert checker.stats.max_coherence_count >= 1
+
+
+def test_duplicate_completion_detected():
+    system = build()
+    attach_checker(system)
+    system.env.run(until=10.0)
+    # Grab any completed transaction and replay its completion.
+    from repro.db import LockMode, Placement, Reference, Transaction, \
+        TransactionClass
+
+    txn = Transaction(txn_id=999_999, txn_class=TransactionClass.A,
+                      home_site=0,
+                      references=(Reference(1, LockMode.EXCLUSIVE),),
+                      arrival_time=1.0)
+    txn.route(Placement.LOCAL)
+    txn.complete(now=2.0)
+    system.metrics.record_completion(txn)
+    with pytest.raises(InvariantViolation, match="twice"):
+        system.metrics.record_completion(txn)
+
+
+def test_marked_commit_detected():
+    system = build()
+    attach_checker(system)
+    from repro.db import LockMode, Placement, Reference, Transaction, \
+        TransactionClass
+
+    txn = Transaction(txn_id=888_888, txn_class=TransactionClass.A,
+                      home_site=0,
+                      references=(Reference(1, LockMode.EXCLUSIVE),),
+                      arrival_time=1.0)
+    txn.route(Placement.LOCAL)
+    txn.mark_for_abort("test")
+    txn.complete(now=2.0)
+    with pytest.raises(InvariantViolation, match="marked"):
+        system.metrics.record_completion(txn)
+
+
+def test_manual_audit_callable():
+    system = build()
+    checker = attach_checker(system)
+    system.env.run(until=5.0)
+    checker.audit()  # must not raise mid-run
+    assert checker.stats.audits >= 1

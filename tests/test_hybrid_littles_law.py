@@ -1,0 +1,85 @@
+"""Operational-law consistency checks on the simulator's measurements.
+
+Little's law and the utilisation law hold for *any* stable queueing
+system, independent of distributional assumptions -- so they are ideal
+cross-checks that the simulator's bookkeeping (populations, throughput,
+response times, utilisations) is internally consistent.
+"""
+
+import pytest
+
+from repro.core.router import AlwaysLocalRouter, AlwaysShipRouter
+from repro.hybrid import HybridSystem, paper_config
+
+
+@pytest.fixture(scope="module")
+def local_run():
+    config = paper_config(total_rate=12.0, warmup_time=20.0,
+                          measure_time=120.0)
+    system = HybridSystem(config, lambda c, i: AlwaysLocalRouter())
+    result = system.run()
+    return system, result
+
+
+@pytest.fixture(scope="module")
+def shipped_run():
+    config = paper_config(total_rate=12.0, warmup_time=20.0,
+                          measure_time=120.0)
+    system = HybridSystem(config, lambda c, i: AlwaysShipRouter())
+    result = system.run()
+    return system, result
+
+
+def test_utilization_law_local_sites(local_run):
+    """rho = X * S at each local site (X = throughput, S = CPU demand)."""
+    system, result = local_run
+    config = system.config
+    # Class A work stays local: per-site class A throughput.
+    class_a_rate = (config.workload.arrival_rate_per_site *
+                    config.workload.p_local)
+    service = config.local_service_time
+    predicted = class_a_rate * service
+    # Measured utilisation also contains rerun work and authentication
+    # bursts for class B commits, so it must be >= the first-run demand
+    # and within a modest band of it at this moderate load.
+    assert result.mean_local_utilization >= predicted * 0.9
+    assert result.mean_local_utilization <= predicted * 1.5
+
+
+def test_utilization_law_central_all_ship(shipped_run):
+    """With everything shipped, central rho tracks X * S_central."""
+    system, result = shipped_run
+    config = system.config
+    total_rate = config.workload.total_arrival_rate
+    predicted = total_rate * config.central_service_time
+    assert result.mean_central_utilization == pytest.approx(
+        predicted, rel=0.35)
+
+
+def test_littles_law_central_population(shipped_run):
+    """N_central = X * (central residence) within tolerance."""
+    system, result = shipped_run
+    mean_n = system._n_central_tw.mean(system.env.now)
+    # Central residence excludes the output communication delay (the
+    # transaction leaves the active set when the commit is sent).
+    residence = result.mean_response_time - system.config.comm_delay
+    predicted = result.throughput * residence
+    assert mean_n == pytest.approx(predicted, rel=0.25)
+
+
+def test_littles_law_local_population(local_run):
+    """Total local population = class A throughput * local response."""
+    system, result = local_run
+    mean_n = system._n_local_tw.mean(system.env.now)
+    from repro.db import TransactionClass
+    class_a_rate = (system.config.workload.total_arrival_rate *
+                    system.config.workload.p_local)
+    response_a = result.response_time_by_class[TransactionClass.A]
+    predicted = class_a_rate * response_a
+    assert mean_n == pytest.approx(predicted, rel=0.25)
+
+
+def test_throughput_conservation(local_run):
+    """Completed flow equals arrival flow when stable."""
+    _system, result = local_run
+    assert result.throughput == pytest.approx(12.0, rel=0.08)

@@ -1,0 +1,143 @@
+"""Unit tests for metrics collection (repro.hybrid.metrics)."""
+
+import pytest
+
+from repro.db import (
+    LockMode,
+    Placement,
+    Reference,
+    Transaction,
+    TransactionClass,
+    TransactionKind,
+)
+from repro.hybrid.metrics import MetricsCollector
+from repro.sim import Environment
+
+
+def make_txn(txn_class=TransactionClass.A, placement=Placement.LOCAL,
+             arrival=0.0):
+    txn = Transaction(txn_id=1, txn_class=txn_class, home_site=0,
+                      references=(Reference(1, LockMode.EXCLUSIVE),),
+                      arrival_time=arrival)
+    txn.route(placement)
+    txn.begin_run(arrival)
+    return txn
+
+
+def advance(env, to):
+    env.run(until=env.timeout(to - env.now)) if False else None
+    # simple clock move: schedule and run
+    env.timeout(to - env.now)
+    env.run(until=to)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_warmup_discards_observations(env):
+    metrics = MetricsCollector(env, warmup_time=10.0)
+    txn = make_txn()
+    txn.complete(now=5.0)
+    metrics.record_completion(txn)  # env.now == 0 < warmup
+    assert metrics.completed == 0
+    assert metrics.response_all.count == 0
+
+
+def test_measuring_flag(env):
+    metrics = MetricsCollector(env, warmup_time=10.0)
+    assert not metrics.measuring
+    advance(env, 10.0)
+    assert metrics.measuring
+
+
+def test_completion_recorded_after_warmup(env):
+    metrics = MetricsCollector(env, warmup_time=1.0)
+    advance(env, 2.0)
+    txn = make_txn(arrival=1.5)
+    txn.complete(now=2.0)
+    metrics.record_completion(txn)
+    assert metrics.completed == 1
+    assert metrics.response_all.mean == pytest.approx(0.5)
+
+
+def test_routing_counts_class_a_only(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    metrics.record_routing(make_txn(TransactionClass.A, Placement.LOCAL))
+    metrics.record_routing(make_txn(TransactionClass.A, Placement.SHIPPED))
+    metrics.record_routing(make_txn(TransactionClass.B, Placement.CENTRAL))
+    assert metrics.class_a_arrivals == 2
+    assert metrics.class_a_shipped == 1
+
+
+def test_abort_causes(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    txn = make_txn()
+    metrics.record_abort(txn, "deadlock")
+    metrics.record_abort(txn, "local-invalidated")
+    metrics.record_abort(txn, "central-invalidated")
+    assert metrics.aborts_deadlock == 1
+    assert metrics.aborts_local_invalidated == 1
+    assert metrics.aborts_central_invalidated == 1
+    assert metrics.aborts_total == 3
+
+
+def test_unknown_abort_cause_rejected(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    with pytest.raises(ValueError):
+        metrics.record_abort(make_txn(), "cosmic-ray")
+
+
+def test_message_counters(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    metrics.record_message(to_central=True)
+    metrics.record_message(to_central=True)
+    metrics.record_message(to_central=False)
+    assert metrics.messages_to_central == 2
+    assert metrics.messages_to_sites == 1
+
+
+def test_freeze_summary(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    advance(env, 1.0)
+    local = make_txn(TransactionClass.A, Placement.LOCAL, arrival=0.2)
+    local.complete(now=0.7)
+    metrics.record_completion(local)
+    shipped = make_txn(TransactionClass.A, Placement.SHIPPED, arrival=0.1)
+    shipped.complete(now=1.0)
+    metrics.record_completion(shipped)
+    advance(env, 10.0)
+    result = metrics.freeze(
+        total_rate=5.0, comm_delay=0.2, strategy="test", seed=1,
+        local_utilizations=[0.2, 0.4], central_utilization=0.3,
+        mean_local_queue=1.0, mean_central_queue=2.0)
+    assert result.completed == 2
+    assert result.mean_response_time == pytest.approx((0.5 + 0.9) / 2)
+    assert result.throughput == pytest.approx(0.2)
+    assert result.mean_local_utilization == pytest.approx(0.3)
+    assert result.response_time_by_kind[TransactionKind.LOCAL_NEW] == \
+        pytest.approx(0.5)
+    assert result.response_time_by_kind[TransactionKind.SHIPPED_NEW] == \
+        pytest.approx(0.9)
+    assert result.strategy == "test"
+
+
+def test_shipped_fraction_empty_is_zero(env):
+    metrics = MetricsCollector(env, warmup_time=0.0)
+    advance(env, 1.0)
+    result = metrics.freeze(
+        total_rate=1.0, comm_delay=0.2, strategy="t", seed=1,
+        local_utilizations=[], central_utilization=0.0,
+        mean_local_queue=0.0, mean_central_queue=0.0)
+    assert result.shipped_fraction == 0.0
+    assert result.abort_rate == 0.0
+
+
+def test_negative_ack_counter(env):
+    metrics = MetricsCollector(env, warmup_time=5.0)
+    metrics.record_negative_ack()  # before warmup: ignored
+    assert metrics.auth_negative_acks == 0
+    advance(env, 6.0)
+    metrics.record_negative_ack()
+    assert metrics.auth_negative_acks == 1

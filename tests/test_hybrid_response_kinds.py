@@ -1,0 +1,79 @@
+"""Behavioural tests of the six response-time kinds (Section 3.1).
+
+The paper distinguishes new/rerun x local/shipped/central transactions.
+These tests check the *orderings* the model predicts actually emerge in
+the simulator: shipped transactions pay the communication overhead,
+rerun kinds appear once contention bites, and class B behaves like
+shipped class A (the paper's simplifying assumption).
+"""
+
+import pytest
+
+from repro.core import STRATEGIES
+from repro.core.router import AlwaysShipRouter
+from repro.db import TransactionClass, TransactionKind
+from repro.hybrid import HybridSystem, paper_config
+
+
+@pytest.fixture(scope="module")
+def loaded_result():
+    """A loaded run with a mixed routing policy."""
+    config = paper_config(total_rate=25.0, warmup_time=20.0,
+                          measure_time=80.0)
+    factory = STRATEGIES["min-average-population"](config)
+    return HybridSystem(config, factory).run()
+
+
+def test_shipped_pays_communication_overhead(loaded_result):
+    kinds = loaded_result.response_time_by_kind
+    local_new = kinds[TransactionKind.LOCAL_NEW]
+    shipped_new = kinds[TransactionKind.SHIPPED_NEW]
+    # The shipped path carries >= 0.8s of communication (ship, auth
+    # round trip, response) the local path avoids entirely.
+    assert shipped_new > local_new
+    assert shipped_new - local_new > 0.3
+
+
+def test_class_b_close_to_shipped(loaded_result):
+    """Section 3.1: 'we assume that their response times are equal'."""
+    kinds = loaded_result.response_time_by_kind
+    shipped = kinds[TransactionKind.SHIPPED_NEW]
+    central = kinds[TransactionKind.CENTRAL_NEW]
+    assert central == pytest.approx(shipped, rel=0.35)
+
+
+def test_rerun_kinds_observed_under_contention(loaded_result):
+    """At 25 tps cross-site collisions must produce rerun completions."""
+    kinds = loaded_result.response_time_by_kind
+    rerun_kinds = {TransactionKind.LOCAL_RERUN,
+                   TransactionKind.SHIPPED_RERUN,
+                   TransactionKind.CENTRAL_RERUN}
+    assert rerun_kinds & set(kinds), "no rerun transactions completed"
+
+
+def test_rerun_slower_than_new(loaded_result):
+    """A rerun's total response includes its failed first run."""
+    kinds = loaded_result.response_time_by_kind
+    if TransactionKind.LOCAL_RERUN in kinds:
+        assert kinds[TransactionKind.LOCAL_RERUN] > \
+            kinds[TransactionKind.LOCAL_NEW]
+
+
+def test_class_means_weighted_consistently(loaded_result):
+    """The overall mean lies between the per-class means."""
+    by_class = loaded_result.response_time_by_class
+    mean_a = by_class[TransactionClass.A]
+    mean_b = by_class[TransactionClass.B]
+    overall = loaded_result.mean_response_time
+    assert min(mean_a, mean_b) - 1e-9 <= overall <= \
+        max(mean_a, mean_b) + 1e-9
+
+
+def test_all_ship_has_no_local_kinds():
+    config = paper_config(total_rate=8.0, warmup_time=10.0,
+                          measure_time=30.0)
+    result = HybridSystem(config, lambda c, i: AlwaysShipRouter()).run()
+    kinds = set(result.response_time_by_kind)
+    assert TransactionKind.LOCAL_NEW not in kinds
+    assert TransactionKind.SHIPPED_NEW in kinds
+    assert TransactionKind.CENTRAL_NEW in kinds

@@ -1,0 +1,76 @@
+"""Tests for structured event tracing of hybrid-system runs."""
+
+import pytest
+
+from repro.core import STRATEGIES
+from repro.hybrid import HybridSystem, paper_config
+from repro.sim import NullTracer, make_tracer
+
+
+def run_traced(strategy="min-average-population", **tracer_kwargs):
+    tracer = make_tracer(True, **tracer_kwargs)
+    config = paper_config(total_rate=15.0, warmup_time=5.0,
+                          measure_time=25.0)
+    system = HybridSystem(config, STRATEGIES[strategy](config),
+                          tracer=tracer)
+    result = system.run()
+    return tracer, result, system
+
+
+def test_default_is_null_tracer():
+    config = paper_config(total_rate=5.0, warmup_time=2.0,
+                          measure_time=5.0)
+    system = HybridSystem(config, STRATEGIES["none"](config))
+    assert isinstance(system.tracer, NullTracer)
+    system.run()
+    assert system.tracer.records == []
+
+
+def test_trace_contains_expected_kinds():
+    tracer, _result, _system = run_traced()
+    kinds = tracer.counts()
+    assert kinds.get("route", 0) > 100
+    assert kinds.get("commit", 0) > 100
+
+
+def test_trace_commit_count_covers_all_completions():
+    """Commit traces are unconditional, so they count >= the measured
+    completions (which exclude the warm-up window)."""
+    tracer, result, _system = run_traced()
+    commits = len(list(tracer.filter("commit")))
+    assert commits >= result.completed
+
+
+def test_trace_records_carry_details():
+    tracer, _result, _system = run_traced()
+    record = next(tracer.filter("commit"))
+    assert {"txn", "site", "txn_kind", "response", "runs"} <= \
+        set(record.details)
+    assert record.details["response"] > 0
+
+
+def test_trace_abort_records_have_cause():
+    tracer, result, _system = run_traced(strategy="none")
+    aborts = list(tracer.filter("abort"))
+    if result.aborts_total:
+        assert aborts
+        assert all(record.details["cause"] in
+                   ("deadlock", "local-invalidated",
+                    "central-invalidated") for record in aborts)
+
+
+def test_trace_kind_filtering():
+    tracer, _result, _system = run_traced(kinds={"commit"})
+    assert set(tracer.counts()) == {"commit"}
+
+
+def test_trace_bounded_by_max_records():
+    tracer, _result, _system = run_traced(max_records=50)
+    assert len(tracer.records) == 50
+    assert tracer.dropped > 0
+
+
+def test_trace_timestamps_monotone():
+    tracer, _result, _system = run_traced(max_records=10_000)
+    times = [record.time for record in tracer.records]
+    assert times == sorted(times)

@@ -1,0 +1,138 @@
+"""Unit and property tests for streaming quantiles (repro.sim.quantiles)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.quantiles import P2Quantile, QuantileSet
+
+
+def test_rejects_invalid_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_rejects_nan():
+    estimator = P2Quantile(0.5)
+    with pytest.raises(ValueError):
+        estimator.add(float("nan"))
+
+
+def test_empty_is_nan():
+    assert math.isnan(P2Quantile(0.5).value)
+
+
+def test_few_observations_exact():
+    estimator = P2Quantile(0.5)
+    for value in (3.0, 1.0, 2.0):
+        estimator.add(value)
+    # With < 5 observations the estimate is an order statistic.
+    assert estimator.value == 2.0
+
+
+def test_median_of_uniform_stream():
+    rng = np.random.default_rng(1)
+    estimator = P2Quantile(0.5)
+    for value in rng.random(20_000):
+        estimator.add(float(value))
+    assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+
+def test_p95_of_exponential_stream():
+    rng = np.random.default_rng(2)
+    estimator = P2Quantile(0.95)
+    draws = rng.exponential(1.0, 50_000)
+    for value in draws:
+        estimator.add(float(value))
+    exact = float(np.quantile(draws, 0.95))
+    assert estimator.value == pytest.approx(exact, rel=0.05)
+
+
+def test_p99_tail():
+    rng = np.random.default_rng(3)
+    estimator = P2Quantile(0.99)
+    draws = rng.normal(10.0, 2.0, 50_000)
+    for value in draws:
+        estimator.add(float(value))
+    exact = float(np.quantile(draws, 0.99))
+    assert estimator.value == pytest.approx(exact, rel=0.05)
+
+
+def test_count_tracks_observations():
+    estimator = P2Quantile(0.5)
+    for i in range(10):
+        estimator.add(float(i))
+    assert estimator.count == 10
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100,
+                          allow_nan=False), min_size=5, max_size=300))
+@settings(max_examples=50)
+def test_estimate_within_observed_range(values):
+    estimator = P2Quantile(0.9)
+    for value in values:
+        estimator.add(value)
+    assert min(values) - 1e-9 <= estimator.value <= max(values) + 1e-9
+
+
+@given(st.integers(min_value=100, max_value=2000))
+def test_sorted_stream_median(n):
+    estimator = P2Quantile(0.5)
+    for i in range(n):
+        estimator.add(float(i))
+    # Median of 0..n-1 is ~n/2; P^2 on a sorted stream stays close.
+    assert estimator.value == pytest.approx(n / 2, rel=0.25)
+
+
+# ---------------------------------------------------------------------------
+# QuantileSet
+# ---------------------------------------------------------------------------
+
+def test_quantile_set_summary_keys():
+    quantiles = QuantileSet()
+    for value in range(100):
+        quantiles.add(float(value))
+    summary = quantiles.summary()
+    assert set(summary) == {"p50", "p90", "p95", "p99", "min", "max"}
+    assert summary["min"] == 0.0
+    assert summary["max"] == 99.0
+    assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+
+def test_quantile_set_untracked_raises():
+    quantiles = QuantileSet()
+    with pytest.raises(KeyError):
+        quantiles.quantile(0.42)
+
+
+def test_quantile_set_tracked_access():
+    quantiles = QuantileSet((0.5,))
+    for value in (1.0, 2.0, 3.0):
+        quantiles.add(value)
+    assert quantiles.quantile(0.5) == 2.0
+
+
+def test_quantile_set_empty_summary():
+    summary = QuantileSet().summary()
+    assert math.isnan(summary["min"])
+    assert math.isnan(summary["max"])
+
+
+def test_simulation_result_has_percentiles():
+    from repro.core.router import AlwaysLocalRouter
+    from repro.hybrid import HybridSystem, paper_config
+
+    config = paper_config(total_rate=10.0, warmup_time=5.0,
+                          measure_time=20.0)
+    result = HybridSystem(config, lambda c, i: AlwaysLocalRouter()).run()
+    percentiles = result.response_time_percentiles
+    assert percentiles["p50"] <= percentiles["p95"] <= percentiles["max"]
+    assert percentiles["min"] > 0
+    # The mean lies between the median and the tail for this skewed load.
+    assert percentiles["min"] <= result.mean_response_time <= \
+        percentiles["max"]

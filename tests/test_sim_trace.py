@@ -1,0 +1,82 @@
+"""Unit tests for event tracing (repro.sim.trace)."""
+
+from repro.sim import NullTracer, TraceRecord, Tracer, make_tracer
+
+
+def test_tracer_records():
+    tracer = Tracer()
+    tracer.emit(1.0, "lock-wait", txn=7, entity=12)
+    tracer.emit(2.0, "abort", txn=7)
+    assert len(tracer.records) == 2
+    assert tracer.records[0].kind == "lock-wait"
+    assert tracer.records[0].details["entity"] == 12
+
+
+def test_tracer_kind_filtering_at_emit():
+    tracer = Tracer(kinds={"abort"})
+    tracer.emit(1.0, "lock-wait", txn=7)
+    tracer.emit(2.0, "abort", txn=7)
+    assert [record.kind for record in tracer.records] == ["abort"]
+
+
+def test_tracer_filter_iterator():
+    tracer = Tracer()
+    tracer.emit(1.0, "a")
+    tracer.emit(2.0, "b")
+    tracer.emit(3.0, "a")
+    assert len(list(tracer.filter("a"))) == 2
+
+
+def test_tracer_counts_histogram():
+    tracer = Tracer()
+    for kind in ("x", "x", "y"):
+        tracer.emit(0.0, kind)
+    assert tracer.counts() == {"x": 2, "y": 1}
+
+
+def test_tracer_max_records_drops():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.emit(float(i), "e")
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+
+
+def test_tracer_sink_callback():
+    seen = []
+    tracer = Tracer(sink=seen.append)
+    tracer.emit(1.0, "evt", a=1)
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceRecord)
+
+
+def test_record_format():
+    record = TraceRecord(1.5, "commit", {"txn": 3, "site": 0})
+    text = record.format()
+    assert "commit" in text
+    assert "txn=3" in text and "site=0" in text
+
+
+def test_tracer_dump_lines():
+    tracer = Tracer()
+    tracer.emit(1.0, "a")
+    tracer.emit(2.0, "b")
+    assert len(tracer.dump().splitlines()) == 2
+
+
+def test_null_tracer_swallows_everything():
+    tracer = NullTracer()
+    tracer.emit(1.0, "anything", x=1)
+    assert tracer.records == []
+    assert tracer.counts() == {}
+    assert tracer.dump() == ""
+    assert list(tracer.filter("anything")) == []
+    assert not tracer.enabled
+
+
+def test_make_tracer_factory():
+    assert isinstance(make_tracer(False), NullTracer)
+    real = make_tracer(True, kinds={"a"}, max_records=10)
+    assert isinstance(real, Tracer)
+    assert real.kinds == {"a"}
+    assert real.max_records == 10

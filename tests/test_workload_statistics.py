@@ -1,0 +1,109 @@
+"""Statistical validation of the workload generator's distributions.
+
+The paper's results depend on the workload shape (uniform references,
+Poisson arrivals); these tests verify the generator's outputs match the
+specification statistically, not just structurally.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.db import TransactionFactory, WorkloadParams
+from repro.sim import Environment, RandomStreams
+
+
+def test_class_a_references_uniform_over_partition():
+    """Chi-square goodness of fit over 16 bins of the home partition."""
+    params = WorkloadParams(p_local=1.0)
+    factory = TransactionFactory(params, RandomStreams(seed=100))
+    low, high = factory.partition.site_range(4)
+    draws = []
+    for _ in range(1500):
+        txn = factory.make_transaction(site=4, now=0.0)
+        draws.extend(ref.entity for ref in txn.references)
+    counts, _ = np.histogram(draws, bins=16, range=(low, high))
+    _, p_value = scipy_stats.chisquare(counts)
+    assert p_value > 0.001  # uniformity not rejected
+
+
+def test_class_b_references_uniform_over_space():
+    params = WorkloadParams(p_local=0.0)
+    factory = TransactionFactory(params, RandomStreams(seed=101))
+    draws = []
+    for _ in range(1500):
+        txn = factory.make_transaction(site=0, now=0.0)
+        draws.extend(ref.entity for ref in txn.references)
+    counts, _ = np.histogram(draws, bins=16,
+                             range=(0, params.lockspace))
+    _, p_value = scipy_stats.chisquare(counts)
+    assert p_value > 0.001
+
+
+def test_interarrival_times_pass_exponential_ks():
+    """Kolmogorov-Smirnov against the exponential distribution."""
+    from repro.db import ArrivalProcess
+
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=4.0)
+    streams = RandomStreams(seed=102)
+    factory = TransactionFactory(params, streams)
+    times = []
+    ArrivalProcess(env, site=0, factory=factory, streams=streams,
+                   submit=lambda t: times.append(t.arrival_time))
+    env.run(until=1500)
+    gaps = np.diff(times)
+    _, p_value = scipy_stats.kstest(gaps, "expon",
+                                    args=(0, 1.0 / 4.0))
+    assert p_value > 0.001
+
+
+def test_arrival_counts_poisson_dispersion():
+    """Counts per unit interval: variance ~= mean (Poisson index of
+    dispersion close to 1)."""
+    from repro.db import ArrivalProcess
+
+    env = Environment()
+    params = WorkloadParams(arrival_rate_per_site=3.0)
+    streams = RandomStreams(seed=103)
+    factory = TransactionFactory(params, streams)
+    times = []
+    ArrivalProcess(env, site=0, factory=factory, streams=streams,
+                   submit=lambda t: times.append(t.arrival_time))
+    env.run(until=2000)
+    counts, _ = np.histogram(times, bins=2000, range=(0, 2000))
+    dispersion = np.var(counts) / np.mean(counts)
+    assert dispersion == pytest.approx(1.0, abs=0.15)
+
+
+def test_class_mix_binomial_confidence():
+    """The A/B split is Bernoulli(p_local): check via a z-test bound."""
+    params = WorkloadParams(p_local=0.75)
+    factory = TransactionFactory(params, RandomStreams(seed=104))
+    n = 6000
+    a_count = sum(
+        1 for _ in range(n)
+        if factory.make_transaction(0, 0.0).txn_class.value == "A")
+    p_hat = a_count / n
+    standard_error = (0.75 * 0.25 / n) ** 0.5
+    assert abs(p_hat - 0.75) < 4 * standard_error
+
+
+def test_reference_positions_independent_of_class_draws():
+    """Entity draws must not correlate with the class sequence (separate
+    streams): compare reference means conditional on class."""
+    params = WorkloadParams(p_local=0.5)
+    factory = TransactionFactory(params, RandomStreams(seed=105))
+    home_means = {"A": [], "B": []}
+    low, high = factory.partition.site_range(0)
+    for _ in range(800):
+        txn = factory.make_transaction(site=0, now=0.0)
+        in_home = [ref.entity for ref in txn.references
+                   if low <= ref.entity < high]
+        if in_home:
+            home_means[txn.txn_class.value].append(float(np.mean(in_home)))
+    # Class A home references and class B home references share the same
+    # uniform distribution over the partition.
+    _, p_value = scipy_stats.mannwhitneyu(home_means["A"],
+                                          home_means["B"])
+    assert p_value > 0.001
