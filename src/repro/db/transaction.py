@@ -17,6 +17,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+from ..sim.spans import SpanRecorder
 from .locks import LockMode
 
 __all__ = [
@@ -119,6 +120,12 @@ class Transaction:
     # (subset of the reference string; maintained by the site logic).
     locked_entities: list[int] = field(default_factory=list)
 
+    #: Phase-attributed lifecycle timeline (anchored at the routing
+    #: decision; closed by :meth:`complete`).  The phase totals sum to
+    #: the response time exactly -- the basis of the per-phase
+    #: response-time decomposition in :mod:`repro.hybrid.metrics`.
+    spans: SpanRecorder = field(default_factory=SpanRecorder, repr=False)
+
     # -- derived properties ---------------------------------------------------
 
     @property
@@ -207,6 +214,7 @@ class Transaction:
     def complete(self, now: float) -> None:
         self.completed_at = now
         self.state = TransactionState.COMMITTED
+        self.spans.close(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Txn {self.txn_id} class={self.txn_class.value} "

@@ -8,6 +8,8 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --figure 4.3 --csv fig43.csv
     hybriddb-experiment --validate
     hybriddb-experiment --list
+    hybriddb-experiment --run queue-length --rate 35 \\
+        --telemetry run.csv --trace-out run.jsonl
 """
 
 from __future__ import annotations
@@ -16,10 +18,12 @@ import argparse
 import sys
 import time
 
-from .export import write_figure_csv
+from ..core import STRATEGIES
+from ..sim.trace import Tracer
+from .export import write_figure_csv, write_telemetry, write_trace_jsonl
 from .figures import ALL_FIGURES
-from .report import curve_summary, figure_report
-from .runner import RunSettings
+from .report import curve_summary, figure_report, format_table
+from .runner import RunSettings, run_single
 from .validation import validate_model
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +54,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "section's dependencies)")
     parser.add_argument("--csv", metavar="PATH",
                         help="also write the figure's data as CSV")
+    parser.add_argument("--run", metavar="STRATEGY",
+                        choices=sorted(STRATEGIES),
+                        help="run one strategy once and report its "
+                             "response-time decomposition, telemetry "
+                             "and engine profile")
+    parser.add_argument("--rate", type=float, default=30.0,
+                        help="total arrival rate for --run "
+                             "(default 30.0 txn/s)")
+    parser.add_argument("--comm-delay", type=float, default=0.2,
+                        help="communication delay for --run "
+                             "(default 0.2 s)")
+    parser.add_argument("--telemetry", metavar="PATH",
+                        help="with --run: write windowed telemetry "
+                             "(CSV if PATH ends in .csv, JSON otherwise)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="with --run: write the event trace as "
+                             "JSON Lines")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="simulated-horizon scale factor (default 1.0; "
                              "0.3 for a quick look)")
@@ -73,6 +94,64 @@ def _run_figure(figure_id: str, settings: RunSettings,
         target = write_figure_csv(figure, csv_path)
         print(f"\n[data written to {target}]")
     print(f"\n[{elapsed:.1f}s of wall-clock simulation]")
+
+
+def _run_single(args, settings: RunSettings) -> int:
+    from .export import decomposition_rows
+    from .report import sparkline
+
+    tracer = Tracer(max_records=200_000) if args.trace_out else None
+    started = time.time()
+    result = run_single(args.run, args.rate, comm_delay=args.comm_delay,
+                        settings=settings, tracer=tracer)
+    elapsed = time.time() - started
+
+    print(f"{result.strategy} @ rate={result.total_rate:g} txn/s, "
+          f"comm_delay={result.comm_delay:g}s, seed={result.seed}")
+    print(f"  mean response time  {result.mean_response_time:.4f} s")
+    print(f"  throughput          {result.throughput:.2f} txn/s")
+    print(f"  shipped fraction    {result.shipped_fraction:.1%}")
+    print(f"  abort rate          {result.abort_rate:.3f}")
+    print()
+    print("Response-time decomposition")
+    rows = [(row["phase"], f"{row['mean_seconds']:.4f}",
+             f"{row['fraction']:.1%}")
+            for row in decomposition_rows(result)]
+    print(format_table(("phase", "mean s", "share"), rows))
+    residual = result.decomposition_residual
+    print(f"  [decomposition residual vs mean RT: {residual:.2e}]")
+    print()
+    windows = result.telemetry
+    print(f"Telemetry: {len(windows)} window(s) of "
+          f"{result.telemetry_interval:g}s"
+          + (f", {result.telemetry_windows_dropped} evicted"
+             if result.telemetry_windows_dropped else ""))
+    if windows:
+        print("  throughput  "
+              + sparkline([w.throughput for w in windows]))
+        print("  population  "
+              + sparkline([float(w.population) for w in windows]))
+    adequate = result.warmup_adequate
+    if adequate is None:
+        print("  warm-up adequacy: not judged (too few windows)")
+    else:
+        trend = ", ".join(f"{name} {drift:+.0%}"
+                          for name, drift in result.warmup_trend.items())
+        verdict = "OK" if adequate else "SUSPECT (still trending)"
+        print(f"  warm-up adequacy: {verdict} [{trend}]")
+    print()
+    print(f"Engine: {result.engine_events} events, "
+          f"{result.engine_events_per_sec:,.0f} events/s, "
+          f"heap peak {result.engine_heap_peak}")
+    if args.telemetry:
+        target = write_telemetry(result, args.telemetry)
+        print(f"[telemetry written to {target}]")
+    if args.trace_out:
+        target = write_trace_jsonl(tracer, args.trace_out)
+        print(f"[{len(tracer.records)} trace record(s) written to "
+              f"{target}]")
+    print(f"\n[{elapsed:.1f}s of wall-clock simulation]")
+    return 0
 
 
 def _run_validation(settings: RunSettings) -> None:
@@ -104,6 +183,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     settings = RunSettings(replications=args.replications,
                            base_seed=args.seed, scale=args.scale)
+    if (args.telemetry or args.trace_out) and not args.run:
+        print("error: --telemetry/--trace-out require --run",
+              file=sys.stderr)
+        return 2
+    if args.run and args.rate <= 0:
+        print("error: --rate must be positive", file=sys.stderr)
+        return 2
+    if args.run:
+        code = _run_single(args, settings)
+        if not args.figure:
+            return code
     if args.validate:
         _run_validation(settings)
         if not args.figure and not args.scorecard:
@@ -131,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.figure:
             return 0
     if not args.figure:
-        print("error: choose --figure, --validate, --scorecard, "
+        print("error: choose --figure, --run, --validate, --scorecard, "
               "--sensitivity or --list", file=sys.stderr)
         return 2
     if args.figure == "all":

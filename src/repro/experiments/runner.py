@@ -23,7 +23,7 @@ from ..hybrid.metrics import SimulationResult
 from ..hybrid.system import HybridSystem
 
 __all__ = ["RunSettings", "CurvePoint", "Curve", "run_point", "run_curve",
-           "StrategyBuilder"]
+           "run_single", "StrategyBuilder"]
 
 #: ``name -> (config -> RouterFactory)`` -- the registry from repro.core,
 #: re-exported here so experiment definitions read naturally.
@@ -153,6 +153,27 @@ def run_point(strategy: str | StrategyBuilder, total_rate: float,
             [r.mean_central_utilization for r in results]),
         replications=tuple(results),
     )
+
+
+def run_single(strategy: str | StrategyBuilder, total_rate: float,
+               comm_delay: float = 0.2,
+               settings: RunSettings | None = None,
+               tracer=None, **config_overrides) -> SimulationResult:
+    """Run one strategy at one rate, once, returning the raw result.
+
+    Unlike :func:`run_point` this performs a single replication and
+    returns the full :class:`SimulationResult` -- including the
+    response-time decomposition, windowed telemetry and engine profile
+    -- rather than cross-replication averages.  Pass a
+    :class:`~repro.sim.trace.Tracer` to capture the event log for JSONL
+    export.
+    """
+    settings = settings or RunSettings()
+    builder = STRATEGIES[strategy] if isinstance(strategy, str) else strategy
+    config = settings.config_for(total_rate, comm_delay,
+                                 seed=settings.base_seed, **config_overrides)
+    router_factory = builder(config)
+    return HybridSystem(config, router_factory, tracer=tracer).run()
 
 
 def run_curve(strategy: str | StrategyBuilder, rates: list[float],

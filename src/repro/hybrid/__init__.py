@@ -17,6 +17,7 @@ from .protocol import (
     UpdatePropagation,
 )
 from .system import HybridSystem, simulate
+from .telemetry import TelemetrySampler, TelemetrySeries, TelemetryWindow
 
 __all__ = [
     "SiteBase",
@@ -40,4 +41,7 @@ __all__ = [
     "UpdatePropagation",
     "HybridSystem",
     "simulate",
+    "TelemetrySampler",
+    "TelemetrySeries",
+    "TelemetryWindow",
 ]

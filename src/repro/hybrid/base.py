@@ -17,8 +17,15 @@ from typing import TYPE_CHECKING
 from ..db.locks import LockManager
 from ..sim.engine import Environment
 from ..sim.resources import Resource
+from ..sim.spans import (
+    PHASE_CPU_SERVICE,
+    PHASE_CPU_WAIT,
+    PHASE_IO,
+    PHASE_LOCK_WAIT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.transaction import Reference, Transaction
     from .config import SystemConfig
 
 __all__ = ["SiteBase"]
@@ -40,24 +47,54 @@ class SiteBase:
         """Deterministic CPU time for an instruction pathlength."""
         return instructions / (self.mips * 1_000_000.0)
 
-    def cpu_burst(self, instructions: float):
+    def cpu_burst(self, instructions: float,
+                  txn: "Transaction | None" = None):
         """Process fragment: queue for the CPU, hold it, release it.
 
         Use as ``yield from site.cpu_burst(n_instr)`` inside a process.
         Zero-instruction bursts complete immediately without touching the
-        CPU queue.
+        CPU queue.  Passing ``txn`` attributes the queueing and service
+        time to that transaction's lifecycle spans.
         """
         if instructions <= 0:
             return
+        spans = None if txn is None else txn.spans
         with self.cpu.request() as grant:
+            if spans is not None:
+                spans.enter(PHASE_CPU_WAIT, self.env.now)
             yield grant
+            if spans is not None:
+                spans.enter(PHASE_CPU_SERVICE, self.env.now)
             yield self.env.timeout(self.service_time(instructions))
+        if spans is not None:
+            spans.exit(self.env.now)
 
-    def io_wait(self, seconds: float):
+    def io_wait(self, seconds: float, txn: "Transaction | None" = None):
         """Process fragment: a synchronous I/O (CPU is not held)."""
         if seconds <= 0:
             return
+        spans = None if txn is None else txn.spans
+        if spans is not None:
+            spans.enter(PHASE_IO, self.env.now)
         yield self.env.timeout(seconds)
+        if spans is not None:
+            spans.exit(self.env.now)
+
+    def lock_wait(self, txn: "Transaction", reference: "Reference"):
+        """Process fragment: acquire one lock, span-attributing the wait.
+
+        Raises :class:`~repro.db.locks.DeadlockError` (from the grant
+        event) when the transaction is chosen as a deadlock victim, with
+        the elapsed wait still attributed to the ``lock-wait`` phase.
+        """
+        grant = self.locks.acquire(txn.txn_id, reference.entity,
+                                   reference.mode)
+        txn.spans.enter(PHASE_LOCK_WAIT, self.env.now)
+        try:
+            yield grant
+        finally:
+            txn.spans.exit(self.env.now)
+        txn.locked_entities.append(reference.entity)
 
     @property
     def cpu_queue_length(self) -> int:

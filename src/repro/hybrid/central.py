@@ -29,6 +29,7 @@ from ..db.transaction import Placement, Transaction
 from ..db.workload import LockSpacePartition
 from ..sim.engine import Environment, Event
 from ..sim.network import Link, Message
+from ..sim.spans import PHASE_AUTH, PHASE_COMM
 from .base import SiteBase
 from .protocol import (
     AuthReply,
@@ -106,7 +107,7 @@ class CentralSite(SiteBase):
         )
 
     def _send(self, site: int, kind: str, payload) -> None:
-        self.metrics.record_message(to_central=False)
+        self.metrics.record_message(to_central=False, kind=kind, site=site)
         self.to_sites[site].send(Message(kind=kind, source="central",
                                          payload=payload))
 
@@ -232,8 +233,8 @@ class CentralSite(SiteBase):
                 txn.begin_run(self.env.now)
                 first_run = txn.run_count == 1
                 if first_run:
-                    yield from self.io_wait(config.io_initial)
-                yield from self.cpu_burst(config.instr_txn_overhead)
+                    yield from self.io_wait(config.io_initial, txn)
+                yield from self.cpu_burst(config.instr_txn_overhead, txn)
                 try:
                     yield from self._execute_calls(txn, first_run)
                 except DeadlockError:
@@ -256,13 +257,10 @@ class CentralSite(SiteBase):
         config = self.config
         for reference in txn.references:
             if not self.locks.is_held_by(reference.entity, txn.txn_id):
-                grant = self.locks.acquire(txn.txn_id, reference.entity,
-                                           reference.mode)
-                yield grant
-                txn.locked_entities.append(reference.entity)
-            yield from self.cpu_burst(config.instr_per_db_call)
+                yield from self.lock_wait(txn, reference)
+            yield from self.cpu_burst(config.instr_per_db_call, txn)
             if first_run:
-                yield from self.io_wait(config.io_per_db_call)
+                yield from self.io_wait(config.io_per_db_call, txn)
 
     def _abort_invalidated(self, txn: Transaction) -> None:
         txn.record_abort()
@@ -299,7 +297,7 @@ class CentralSite(SiteBase):
         (negative acknowledgement or late invalidation).
         """
         config = self.config
-        yield from self.cpu_burst(config.instr_auth_central)
+        yield from self.cpu_burst(config.instr_auth_central, txn)
         masters = self._masters_of(txn)
         if masters:
             auth_id = next(self._auth_ids)
@@ -311,12 +309,18 @@ class CentralSite(SiteBase):
                     auth_id=auth_id, txn_id=txn.txn_id,
                     references=tuple(references),
                     snapshot=self.snapshot()))
+            # Both message legs plus the master-site checks count as the
+            # authentication phase of this transaction's timeline.
+            txn.spans.enter(PHASE_AUTH, self.env.now)
             replies = yield done
+            txn.spans.exit(self.env.now)
             if not all(reply.granted for reply in replies):
                 # Some master answered NAK: release any granted locks and
                 # re-execute (the paper: "it re-executes the transaction
                 # and repeats the process").
-                self.metrics.record_negative_ack()
+                self.metrics.record_negative_ack(
+                    txn, sites=tuple(reply.site for reply in replies
+                                     if not reply.granted))
                 self._release_masters(txn, masters)
                 txn.record_abort()
                 return False
@@ -326,7 +330,7 @@ class CentralSite(SiteBase):
             self._release_masters(txn, masters)
             self._abort_invalidated(txn)
             return False
-        yield from self.cpu_burst(config.instr_commit)
+        yield from self.cpu_burst(config.instr_commit, txn)
         if txn.marked_for_abort:
             # Invalidated during commit processing, before the commit
             # message is sent -- still safe to re-execute.
@@ -347,6 +351,7 @@ class CentralSite(SiteBase):
         # The transaction no longer occupies the central site; the output
         # message travels back to the user's region.
         self.active.pop(txn.txn_id, None)
+        txn.spans.enter(PHASE_COMM, self.env.now)
         yield self.env.timeout(config.comm_delay)
         txn.complete(self.env.now)
         self.metrics.record_completion(txn)

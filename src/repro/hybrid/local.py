@@ -28,6 +28,7 @@ from ..db.transaction import Placement, Reference, Transaction, \
     TransactionClass
 from ..sim.engine import Environment, Event
 from ..sim.network import Link, Message
+from ..sim.spans import PHASE_COMM
 from .base import SiteBase
 from .protocol import (
     AuthReply,
@@ -137,7 +138,9 @@ class LocalSite(SiteBase):
         )
 
     def _ship(self, txn: Transaction) -> None:
-        self.metrics.record_message(to_central=True)
+        txn.spans.enter(PHASE_COMM, self.env.now)
+        self.metrics.record_message(to_central=True, kind="txn",
+                                    site=self.site_id)
         self.to_central.send(Message(kind="txn", source=self.site_id,
                                      payload=TxnShipment(txn)))
 
@@ -156,8 +159,8 @@ class LocalSite(SiteBase):
                 txn.begin_run(self.env.now)
                 first_run = txn.run_count == 1
                 if first_run:
-                    yield from self.io_wait(config.io_initial)
-                yield from self.cpu_burst(config.instr_txn_overhead)
+                    yield from self.io_wait(config.io_initial, txn)
+                yield from self.cpu_burst(config.instr_txn_overhead, txn)
                 try:
                     yield from self._execute_calls(txn, first_run)
                 except DeadlockError:
@@ -168,7 +171,7 @@ class LocalSite(SiteBase):
                 if txn.marked_for_abort:
                     self._abort_invalidated(txn)
                     continue
-                yield from self.cpu_burst(config.instr_commit)
+                yield from self.cpu_burst(config.instr_commit, txn)
                 # Re-check after commit processing: an authentication may
                 # have evicted us while we held the CPU for the commit
                 # burst; the check and the release must be atomic with
@@ -186,13 +189,11 @@ class LocalSite(SiteBase):
         config = self.config
         for reference in txn.references:
             if not self.locks.is_held_by(reference.entity, txn.txn_id):
-                grant = self.locks.acquire(txn.txn_id, reference.entity,
-                                           reference.mode)
-                yield grant  # raises DeadlockError on a cycle
-                txn.locked_entities.append(reference.entity)
-            yield from self.cpu_burst(config.instr_per_db_call)
+                # Raises DeadlockError on a cycle.
+                yield from self.lock_wait(txn, reference)
+            yield from self.cpu_burst(config.instr_per_db_call, txn)
             if first_run:
-                yield from self.io_wait(config.io_per_db_call)
+                yield from self.io_wait(config.io_per_db_call, txn)
 
     def _abort_deadlock(self, txn: Transaction) -> None:
         """Deadlock victim: release *all* locks (Section 4.1) and re-run."""
@@ -237,7 +238,8 @@ class LocalSite(SiteBase):
             return
         batch = tuple(self._update_buffer)
         self._update_buffer.clear()
-        self.metrics.record_message(to_central=True)
+        self.metrics.record_message(to_central=True, kind="update",
+                                    site=self.site_id)
         self.to_central.send(Message(
             kind="update", source=self.site_id,
             payload=UpdatePropagation(self.site_id, batch)))
@@ -278,20 +280,19 @@ class LocalSite(SiteBase):
                 txn.begin_run(self.env.now)
                 first_run = txn.run_count == 1
                 if first_run:
-                    yield from self.io_wait(config.io_initial)
-                yield from self.cpu_burst(config.instr_txn_overhead)
+                    yield from self.io_wait(config.io_initial, txn)
+                yield from self.cpu_burst(config.instr_txn_overhead, txn)
                 try:
                     # Phase 1: home-partition data under local locking.
                     for reference in local_refs:
                         if not self.locks.is_held_by(reference.entity,
                                                      txn.txn_id):
-                            yield self.locks.acquire(
-                                txn.txn_id, reference.entity,
-                                reference.mode)
-                            txn.locked_entities.append(reference.entity)
-                        yield from self.cpu_burst(config.instr_per_db_call)
+                            yield from self.lock_wait(txn, reference)
+                        yield from self.cpu_burst(
+                            config.instr_per_db_call, txn)
                         if first_run:
-                            yield from self.io_wait(config.io_per_db_call)
+                            yield from self.io_wait(
+                                config.io_per_db_call, txn)
                     # Phase 2: remote data from the central server.
                     for reference in remote_refs:
                         if reference.entity not in remote_locked:
@@ -301,7 +302,8 @@ class LocalSite(SiteBase):
                                 raise DeadlockError(txn.txn_id,
                                                     reference.entity)
                             remote_locked.add(reference.entity)
-                        yield from self.cpu_burst(config.instr_per_db_call)
+                        yield from self.cpu_burst(
+                            config.instr_per_db_call, txn)
                 except DeadlockError:
                     txn.record_abort(deadlock=True)
                     self.metrics.record_abort(txn, "deadlock")
@@ -316,7 +318,7 @@ class LocalSite(SiteBase):
                 if txn.marked_for_abort:
                     self._abort_invalidated(txn)
                     continue
-                yield from self.cpu_burst(config.instr_commit)
+                yield from self.cpu_burst(config.instr_commit, txn)
                 if txn.marked_for_abort:
                     self._abort_invalidated(txn)
                     continue
@@ -335,11 +337,16 @@ class LocalSite(SiteBase):
             call_id=call_id, txn_id=txn.txn_id, site=self.site_id,
             entity=reference.entity, mode=reference.mode),
             kind="remote-lock")
+        # The round trip (both legs plus central-side queueing/locking)
+        # is communication from this transaction's point of view.
+        txn.spans.enter(PHASE_COMM, self.env.now)
         reply = yield done
+        txn.spans.exit(self.env.now)
         return reply.granted
 
     def _send_remote(self, payload, kind: str) -> None:
-        self.metrics.record_message(to_central=True)
+        self.metrics.record_message(to_central=True, kind=kind,
+                                    site=self.site_id)
         self.to_central.send(Message(kind=kind, source=self.site_id,
                                      payload=payload))
 
@@ -422,7 +429,8 @@ class LocalSite(SiteBase):
                         if entity in victim.locked_entities:
                             victim.locked_entities.remove(entity)
                         aborted.append(victim_id)
-        self.metrics.record_message(to_central=True)
+        self.metrics.record_message(to_central=True, kind="auth-reply",
+                                    site=self.site_id)
         self.to_central.send(Message(
             kind="auth-reply", source=self.site_id,
             payload=AuthReply(auth_id=request.auth_id,

@@ -8,12 +8,18 @@ figures need is gathered here:
 * mean response time over **all** transactions (class A and B -- the
   y-axis of Figures 4.1/4.2/4.4/4.5/4.7), split by the six transaction
   kinds and by class;
+* a per-phase *decomposition* of the mean response time (communication,
+  CPU queueing, CPU service, I/O, lock waits, authentication, residue)
+  computed from each transaction's lifecycle spans, so every figure can
+  be attributed to a cause rather than just plotted;
 * throughput (committed transactions per second of measured time);
 * the fraction of class A transactions shipped (Figures 4.3/4.6);
 * abort statistics split by cause (deadlock, invalidation of local
   transactions by authentication, invalidation of central transactions by
   asynchronous updates, negative acknowledgements);
-* message counts and mean CPU utilisations.
+* message counts and mean CPU utilisations;
+* windowed time-series telemetry and engine profiling, attached by the
+  system at freeze time (see :mod:`repro.hybrid.telemetry`).
 """
 
 from __future__ import annotations
@@ -28,10 +34,12 @@ from ..db.transaction import (
     TransactionKind,
 )
 from ..sim.quantiles import QuantileSet
+from ..sim.spans import PHASE_OTHER, PHASES
 from ..sim.stats import RunningStat, TimeWeightedStat
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.engine import Environment
+    from .telemetry import TelemetryWindow
 
 __all__ = ["MetricsCollector", "SimulationResult"]
 
@@ -69,6 +77,38 @@ class SimulationResult:
     messages_to_central: int
     messages_to_sites: int
 
+    # -- observability extensions (defaulted for compatibility) ------------
+
+    #: Mean seconds per lifecycle phase over all completed transactions.
+    #: The values sum to :attr:`mean_response_time` (exactly, up to
+    #: floating-point error) because the span recorder attributes every
+    #: instant of a transaction's lifetime to exactly one phase.
+    response_time_decomposition: dict[str, float] = \
+        field(default_factory=dict)
+    #: The same decomposition split by transaction class.
+    decomposition_by_class: dict[TransactionClass, dict[str, float]] = \
+        field(default_factory=dict)
+    #: The same decomposition split by placement (local/shipped/...).
+    decomposition_by_placement: dict[Placement, dict[str, float]] = \
+        field(default_factory=dict)
+
+    #: Windowed time-series telemetry (ring-buffered; oldest windows may
+    #: have been evicted -- see ``telemetry_windows_dropped``).
+    telemetry: tuple["TelemetryWindow", ...] = ()
+    telemetry_interval: float = 0.0
+    telemetry_windows_dropped: int = 0
+    #: ``None`` when too few post-warm-up windows exist to judge;
+    #: otherwise whether the post-warm-up series looks trend-free.
+    warmup_adequate: bool | None = None
+    #: Relative first-half vs second-half drift per monitored metric.
+    warmup_trend: dict[str, float] = field(default_factory=dict)
+
+    #: Engine profile: events processed, wall-clock rate, calendar peak.
+    engine_events: int = 0
+    engine_events_per_sec: float = 0.0
+    engine_heap_peak: int = 0
+    wall_clock_seconds: float = 0.0
+
     @property
     def shipped_fraction(self) -> float:
         """Fraction of measured class A arrivals routed to the central site."""
@@ -83,6 +123,28 @@ class SimulationResult:
             return 0.0
         return self.aborts_total / self.completed
 
+    @property
+    def decomposition_residual(self) -> float:
+        """Relative gap between the phase-mean sum and the mean RT.
+
+        Near zero by construction; a large value indicates an
+        instrumentation bug (a phase left open or double-counted).
+        """
+        if not self.response_time_decomposition or \
+                self.mean_response_time == 0:
+            return 0.0
+        total = sum(self.response_time_decomposition.values())
+        return abs(total - self.mean_response_time) / \
+            self.mean_response_time
+
+
+def _phase_stats() -> dict[str, RunningStat]:
+    return {phase: RunningStat() for phase in PHASES}
+
+
+def _phase_means(stats: dict[str, RunningStat]) -> dict[str, float]:
+    return {phase: stat.mean for phase, stat in stats.items() if stat.count}
+
 
 class MetricsCollector:
     """Accumulates statistics during a run and freezes them into a result.
@@ -90,9 +152,9 @@ class MetricsCollector:
     Every protocol-visible transition flows through this collector, so it
     doubles as the system's trace point: pass a
     :class:`~repro.sim.trace.Tracer` to record a structured event log
-    (kinds: ``route``, ``commit``, ``abort``, ``negative-ack``).  Trace
-    emission is unconditional (not gated on the warm-up window) so
-    debugging runs see the start-up transient too.
+    (kinds: ``route``, ``commit``, ``spans``, ``abort``, ``negative-ack``,
+    ``message``).  Trace emission is unconditional (not gated on the
+    warm-up window) so debugging runs see the start-up transient too.
     """
 
     def __init__(self, env: "Environment", warmup_time: float,
@@ -110,6 +172,15 @@ class MetricsCollector:
         self.response_by_kind: dict[TransactionKind, RunningStat] = {
             kind: RunningStat() for kind in TransactionKind}
         self.completed = 0
+
+        # Per-phase response-time decomposition (seconds per txn).
+        self.phase_stats = _phase_stats()
+        self.phase_by_class: dict[TransactionClass,
+                                  dict[str, RunningStat]] = {
+            cls: _phase_stats() for cls in TransactionClass}
+        self.phase_by_placement: dict[Placement,
+                                      dict[str, RunningStat]] = {
+            placement: _phase_stats() for placement in Placement}
 
         self.class_a_arrivals = 0
         self.class_a_shipped = 0
@@ -131,6 +202,10 @@ class MetricsCollector:
         return self.env.now >= self.warmup_time
 
     def record_routing(self, txn: Transaction) -> None:
+        # Anchor the lifecycle timeline at the routing decision (which
+        # coincides with arrival); time until the first attributed phase
+        # falls into the catch-all ``other`` bucket.
+        txn.spans.enter(PHASE_OTHER, self.env.now)
         self.tracer.emit(self.env.now, "route", txn=txn.txn_id,
                          site=txn.home_site,
                          txn_class=txn.txn_class.value,
@@ -146,6 +221,13 @@ class MetricsCollector:
                          site=txn.home_site, txn_kind=txn.kind().value,
                          response=round(txn.response_time, 6),
                          runs=txn.run_count)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "spans", txn=txn.txn_id,
+                site=txn.home_site, txn_kind=txn.kind().value,
+                response=round(txn.response_time, 6),
+                phases={phase: round(seconds, 6) for phase, seconds
+                        in txn.spans.as_dict().items()})
         if not self.measuring:
             return
         self.completed += 1
@@ -154,6 +236,13 @@ class MetricsCollector:
         self.response_quantiles.add(response)
         self.response_by_class[txn.txn_class].add(response)
         self.response_by_kind[txn.kind()].add(response)
+        phase_totals = txn.spans.as_dict()
+        by_class = self.phase_by_class[txn.txn_class]
+        by_placement = self.phase_by_placement[txn.placement]
+        for phase, seconds in phase_totals.items():
+            self.phase_stats[phase].add(seconds)
+            by_class[phase].add(seconds)
+            by_placement[phase].add(seconds)
 
     def record_abort(self, txn: Transaction, cause: str) -> None:
         self.tracer.emit(self.env.now, "abort", txn=txn.txn_id,
@@ -170,12 +259,28 @@ class MetricsCollector:
         else:
             raise ValueError(f"unknown abort cause: {cause}")
 
-    def record_negative_ack(self) -> None:
-        self.tracer.emit(self.env.now, "negative-ack")
+    def record_negative_ack(self, txn: Transaction | None = None,
+                            sites: tuple[int, ...] = ()) -> None:
+        """One authentication round answered NAK.
+
+        ``txn`` is the authenticating transaction and ``sites`` the
+        master sites that refused, so the event log can attribute the
+        rerun (the counters never needed them, the trace does).
+        """
+        self.tracer.emit(self.env.now, "negative-ack",
+                         txn=None if txn is None else txn.txn_id,
+                         sites=sites)
         if self.measuring:
             self.auth_negative_acks += 1
 
-    def record_message(self, to_central: bool) -> None:
+    def record_message(self, to_central: bool, kind: str | None = None,
+                       site: int | None = None) -> None:
+        """One protocol message sent (``kind``/``site`` enrich the trace)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "message",
+                direction="to-central" if to_central else "to-site",
+                message=kind, site=site)
         if not self.measuring:
             return
         if to_central:
@@ -199,7 +304,16 @@ class MetricsCollector:
                seed: int, local_utilizations: list[float],
                central_utilization: float,
                mean_local_queue: float,
-               mean_central_queue: float) -> SimulationResult:
+               mean_central_queue: float,
+               telemetry: tuple["TelemetryWindow", ...] = (),
+               telemetry_interval: float = 0.0,
+               telemetry_windows_dropped: int = 0,
+               warmup_adequate: bool | None = None,
+               warmup_trend: dict[str, float] | None = None,
+               engine_events: int = 0,
+               engine_events_per_sec: float = 0.0,
+               engine_heap_peak: int = 0,
+               wall_clock_seconds: float = 0.0) -> SimulationResult:
         """Produce the immutable result for this run."""
         measured_time = max(self.env.now - self.warmup_time, 1e-12)
         mean_local_util = (sum(local_utilizations) /
@@ -211,6 +325,15 @@ class MetricsCollector:
         by_kind = {kind: stat.mean
                    for kind, stat in self.response_by_kind.items()
                    if stat.count}
+        decomposition = _phase_means(self.phase_stats)
+        decomposition_by_class = {
+            cls: _phase_means(stats)
+            for cls, stats in self.phase_by_class.items()
+            if any(stat.count for stat in stats.values())}
+        decomposition_by_placement = {
+            placement: _phase_means(stats)
+            for placement, stats in self.phase_by_placement.items()
+            if any(stat.count for stat in stats.values())}
         return SimulationResult(
             total_rate=total_rate,
             comm_delay=comm_delay,
@@ -235,4 +358,16 @@ class MetricsCollector:
             mean_central_queue_length=mean_central_queue,
             messages_to_central=self.messages_to_central,
             messages_to_sites=self.messages_to_sites,
+            response_time_decomposition=decomposition,
+            decomposition_by_class=decomposition_by_class,
+            decomposition_by_placement=decomposition_by_placement,
+            telemetry=telemetry,
+            telemetry_interval=telemetry_interval,
+            telemetry_windows_dropped=telemetry_windows_dropped,
+            warmup_adequate=warmup_adequate,
+            warmup_trend=dict(warmup_trend or {}),
+            engine_events=engine_events,
+            engine_events_per_sec=engine_events_per_sec,
+            engine_heap_peak=engine_heap_peak,
+            wall_clock_seconds=wall_clock_seconds,
         )

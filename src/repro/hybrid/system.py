@@ -3,14 +3,16 @@
 :class:`HybridSystem` wires together the substrate pieces -- one
 :class:`~repro.hybrid.central.CentralSite`, ``n_sites``
 :class:`~repro.hybrid.local.LocalSite` instances, constant-delay links in
-both directions, per-site Poisson arrival processes and a metrics
-collector -- and runs the discrete-event simulation with warm-up
-deletion.  :func:`simulate` is the one-call convenience entry point used
-by the examples and the experiment harness.
+both directions, per-site Poisson arrival processes, a metrics collector
+and a windowed :class:`~repro.hybrid.telemetry.TelemetrySampler` -- and
+runs the discrete-event simulation with warm-up deletion.
+:func:`simulate` is the one-call convenience entry point used by the
+examples and the experiment harness.
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from ..db.workload import ArrivalProcess, LockSpacePartition, \
@@ -24,6 +26,7 @@ from .central import CentralSite
 from .config import SystemConfig
 from .local import LocalSite
 from .metrics import MetricsCollector, SimulationResult
+from .telemetry import TelemetrySampler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.router import RouterFactory
@@ -36,6 +39,10 @@ __all__ = ["HybridSystem", "simulate"]
 #: far cheaper than recording every change.
 SAMPLE_INTERVAL = 0.25
 
+#: Default telemetry window length (simulated seconds) and ring capacity.
+TELEMETRY_INTERVAL = 1.0
+TELEMETRY_CAPACITY = 512
+
 
 class HybridSystem:
     """One fully wired simulated hybrid distributed-centralized system."""
@@ -43,7 +50,9 @@ class HybridSystem:
     def __init__(self, config: SystemConfig,
                  router_factory: "RouterFactory",
                  seed: int | None = None,
-                 tracer: "Tracer | NullTracer | None" = None):
+                 tracer: "Tracer | NullTracer | None" = None,
+                 telemetry_interval: float = TELEMETRY_INTERVAL,
+                 telemetry_capacity: int = TELEMETRY_CAPACITY):
         self.config = config
         self.seed = config.seed if seed is None else seed
         self.env = Environment()
@@ -90,6 +99,10 @@ class HybridSystem:
         self._q_central_tw = TimeWeightedStat()
         self.env.process(self._sampler(), name="sampler")
 
+        # Windowed run telemetry (ring-buffered; see telemetry module).
+        self.telemetry = TelemetrySampler(self, telemetry_interval,
+                                          telemetry_capacity)
+
     # -- observation helpers ------------------------------------------------
 
     @property
@@ -119,6 +132,7 @@ class HybridSystem:
         self.central.cpu.reset_utilization()
         for site in self.sites:
             site.cpu.reset_utilization()
+        self.telemetry.rebase()
         for series in (self._n_local_tw, self._n_central_tw,
                        self._q_local_tw, self._q_central_tw):
             series.reset(now)
@@ -128,10 +142,13 @@ class HybridSystem:
     def run(self) -> SimulationResult:
         """Run warm-up plus measurement window; return the frozen result."""
         config = self.config
+        wall_start = time.perf_counter()
         if config.warmup_time > 0:
             self.env.run(until=config.warmup_time)
         self._reset_after_warmup()
         self.env.run(until=config.run_until)
+        wall_clock = time.perf_counter() - wall_start
+        series = self.telemetry.series
         return self.metrics.freeze(
             total_rate=config.workload.total_arrival_rate,
             comm_delay=config.comm_delay,
@@ -144,6 +161,16 @@ class HybridSystem:
                 since=config.warmup_time),
             mean_local_queue=self._q_local_tw.mean(self.env.now),
             mean_central_queue=self._q_central_tw.mean(self.env.now),
+            telemetry=series.windows,
+            telemetry_interval=self.telemetry.interval,
+            telemetry_windows_dropped=series.dropped,
+            warmup_adequate=series.warmup_adequate(config.warmup_time),
+            warmup_trend=series.warmup_trend(config.warmup_time),
+            engine_events=self.env.events_processed,
+            engine_events_per_sec=(self.env.events_processed / wall_clock
+                                   if wall_clock > 0 else 0.0),
+            engine_heap_peak=self.env.heap_peak,
+            wall_clock_seconds=wall_clock,
         )
 
 

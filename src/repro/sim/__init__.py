@@ -17,6 +17,7 @@ from .engine import (
 )
 from .network import DuplexChannel, Link, Message
 from .resources import PriorityResource, Request, Resource, Store
+from .spans import PHASES, SpanRecorder
 from .rng import ExponentialSampler, RandomStreams, UniformIntSampler
 from .stats import (
     BatchMeans,
@@ -56,4 +57,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "make_tracer",
+    "PHASES",
+    "SpanRecorder",
 ]

@@ -385,6 +385,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Process | None = None
+        #: Profiling counters (cheap; read by the run instrumentation).
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.heap_peak = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -433,8 +437,11 @@ class Environment:
         same-time normal events.
         """
         self._seq += 1
+        self.events_scheduled += 1
         heapq.heappush(self._queue,
                        (self._now + delay, priority, self._seq, event))
+        if len(self._queue) > self.heap_peak:
+            self.heap_peak = len(self._queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -446,6 +453,7 @@ class Environment:
             raise StopSimulation("event calendar is empty")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

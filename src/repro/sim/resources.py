@@ -114,6 +114,12 @@ class Resource:
             return 0.0
         return self._busy_integral / (horizon * self.capacity)
 
+    def busy_time(self) -> float:
+        """Cumulative busy server-seconds since creation or the last
+        :meth:`reset_utilization` (used for windowed utilisation)."""
+        self._account()
+        return self._busy_integral
+
     def reset_utilization(self) -> None:
         """Restart the utilisation integral (e.g. after warm-up)."""
         self._account()

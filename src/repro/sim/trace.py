@@ -4,6 +4,20 @@ A :class:`Tracer` records timestamped, typed trace records.  Tracing is
 off by default (a :class:`NullTracer` swallows records with near-zero
 cost) and can be enabled per-run for debugging protocol interactions or
 producing event logs for the examples.
+
+Memory bounding and sinks
+-------------------------
+
+``max_records`` caps the *in-memory* buffer only: once the cap is
+reached further records are counted in :attr:`Tracer.dropped` instead of
+buffered.  A ``sink`` callback, by contrast, receives **every** record
+that passes the kind filter -- including those dropped from the buffer.
+Combining a streaming sink (e.g. a JSONL file writer, see
+:func:`repro.experiments.export.write_trace_jsonl`) with a small
+``max_records`` therefore gives a complete on-disk trace with bounded
+memory.  :meth:`Tracer.counts` and :meth:`Tracer.dump` surface the
+dropped count so a truncated buffer is never mistaken for a complete
+log.
 """
 
 from __future__ import annotations
@@ -26,6 +40,10 @@ class TraceRecord:
         parts = " ".join(f"{key}={value}" for key, value in
                          sorted(self.details.items()))
         return f"[{self.time:12.6f}] {self.kind:<24} {parts}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable flat form (used by the JSONL exporter)."""
+        return {"time": self.time, "kind": self.kind, **self.details}
 
 
 class Tracer:
@@ -51,6 +69,9 @@ class Tracer:
             self.dropped += 1
         else:
             self.records.append(record)
+        # The sink sees every record, buffered or dropped (see module
+        # docstring): streaming exporters must not be truncated by the
+        # in-memory cap.
         if self.sink is not None:
             self.sink(record)
 
@@ -59,21 +80,40 @@ class Tracer:
         return (record for record in self.records if record.kind == kind)
 
     def counts(self) -> dict[str, int]:
-        """Histogram of record kinds."""
+        """Histogram of buffered record kinds.
+
+        When the ``max_records`` cap truncated the buffer, the histogram
+        carries an extra ``"dropped"`` pseudo-kind so consumers see that
+        the log is incomplete.
+        """
         histogram: dict[str, int] = {}
         for record in self.records:
             histogram[record.kind] = histogram.get(record.kind, 0) + 1
+        if self.dropped:
+            histogram["dropped"] = self.dropped
         return histogram
 
     def dump(self) -> str:
-        return "\n".join(record.format() for record in self.records)
+        lines = [record.format() for record in self.records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} record(s) dropped "
+                         f"(max_records={self.max_records})")
+        return "\n".join(lines)
 
 
 class NullTracer:
-    """A tracer that records nothing (the default)."""
+    """A tracer that records nothing (the default).
+
+    ``records`` is a fresh per-instance list (never written to), so two
+    runs sharing the default tracer can never alias state through a
+    mutable class attribute.
+    """
 
     enabled = False
-    records: list[TraceRecord] = []
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
 
     def emit(self, time: float, kind: str, **details: Any) -> None:
         return
@@ -90,8 +130,9 @@ class NullTracer:
 
 def make_tracer(enabled: bool = False, *,
                 kinds: set[str] | None = None,
+                sink: Callable[[TraceRecord], None] | None = None,
                 max_records: int | None = 100_000) -> Tracer | NullTracer:
     """Factory: a real :class:`Tracer` if ``enabled`` else a null one."""
     if enabled:
-        return Tracer(kinds=kinds, max_records=max_records)
+        return Tracer(kinds=kinds, sink=sink, max_records=max_records)
     return NullTracer()

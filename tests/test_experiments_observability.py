@@ -1,0 +1,134 @@
+"""Tests for the observability export surface and its CLI wiring.
+
+Exercises the JSONL trace export and the telemetry JSON/CSV dumps both
+through the library functions and through ``hybriddb-experiment --run``.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.export import (
+    decomposition_rows,
+    telemetry_rows,
+    telemetry_to_csv,
+    telemetry_to_json,
+    trace_jsonl_lines,
+    write_telemetry,
+    write_trace_jsonl,
+)
+from repro.experiments.runner import RunSettings, run_single
+from repro.hybrid.telemetry import TELEMETRY_FIELDS
+from repro.sim.trace import Tracer
+
+FAST = RunSettings(warmup_time=5.0, measure_time=15.0, base_seed=42)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    result = run_single("queue-length", 20.0, settings=FAST, tracer=tracer)
+    return result, tracer
+
+
+# -- JSONL trace export ------------------------------------------------------
+
+def test_trace_jsonl_lines_are_valid_json(traced_run):
+    _, tracer = traced_run
+    lines = list(trace_jsonl_lines(tracer))
+    assert len(lines) == len(tracer.records)
+    assert lines, "traced run emitted no records"
+    first = json.loads(lines[0])
+    assert set(first) >= {"time", "kind"}
+
+
+def test_write_trace_jsonl_round_trips(traced_run, tmp_path):
+    _, tracer = traced_run
+    path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    assert len(records) == len(tracer.records)
+    kinds = {record["kind"] for record in records}
+    assert {"route", "commit", "spans", "message"} <= kinds
+
+
+def test_write_trace_jsonl_marks_truncation(tmp_path):
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.emit(float(i), "e")
+    path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    assert records[-1] == {"kind": "trace-truncated", "dropped": 3}
+    assert len(records) == 3  # 2 kept + 1 marker
+
+
+# -- telemetry export --------------------------------------------------------
+
+def test_telemetry_rows_follow_field_schema(traced_run):
+    result, _ = traced_run
+    rows = telemetry_rows(result)
+    assert len(rows) == len(result.telemetry)
+    assert all(list(row) == TELEMETRY_FIELDS for row in rows)
+
+
+def test_telemetry_csv_parses_back(traced_run):
+    result, _ = traced_run
+    parsed = list(csv.DictReader(telemetry_to_csv(result).splitlines()))
+    assert len(parsed) == len(result.telemetry)
+    assert list(parsed[0]) == TELEMETRY_FIELDS
+    assert float(parsed[-1]["end"]) == pytest.approx(
+        result.telemetry[-1].end)
+
+
+def test_telemetry_json_document(traced_run):
+    result, _ = traced_run
+    document = json.loads(telemetry_to_json(result))
+    assert document["strategy"] == result.strategy
+    assert document["warmup_adequate"] == result.warmup_adequate
+    assert len(document["windows"]) == len(result.telemetry)
+    assert set(document["decomposition"]) == \
+        set(result.response_time_decomposition)
+    assert document["engine"]["events"] == result.engine_events
+
+
+def test_write_telemetry_dispatches_on_extension(traced_run, tmp_path):
+    result, _ = traced_run
+    csv_path = write_telemetry(result, tmp_path / "tel.csv")
+    json_path = write_telemetry(result, tmp_path / "tel.json")
+    assert csv_path.read_text().startswith(",".join(TELEMETRY_FIELDS))
+    assert json.loads(json_path.read_text())["windows"]
+
+
+def test_decomposition_rows_fractions_sum_to_one(traced_run):
+    result, _ = traced_run
+    rows = decomposition_rows(result)
+    assert sum(row["fraction"] for row in rows) == pytest.approx(
+        1.0, abs=0.02)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_run_writes_both_exports(tmp_path, capsys):
+    telemetry_path = tmp_path / "run.csv"
+    trace_path = tmp_path / "run.jsonl"
+    code = cli.main(["--run", "none", "--rate", "15", "--scale", "0.2",
+                     "--telemetry", str(telemetry_path),
+                     "--trace-out", str(trace_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Response-time decomposition" in out
+    assert "warm-up adequacy" in out
+    assert "Engine:" in out
+    rows = list(csv.DictReader(telemetry_path.read_text().splitlines()))
+    assert rows and list(rows[0]) == TELEMETRY_FIELDS
+    lines = trace_path.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
+def test_cli_telemetry_requires_run(capsys):
+    code = cli.main(["--figure", "4.1", "--telemetry", "x.csv"])
+    assert code == 2
+    assert "--run" in capsys.readouterr().err

@@ -141,3 +141,30 @@ def test_negative_ack_counter(env):
     advance(env, 6.0)
     metrics.record_negative_ack()
     assert metrics.auth_negative_acks == 1
+
+
+def test_negative_ack_trace_carries_txn_and_sites(env):
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    metrics = MetricsCollector(env, warmup_time=0.0, tracer=tracer)
+    txn = make_txn()
+    metrics.record_negative_ack(txn, sites=(2, 5))
+    record = tracer.records[-1]
+    assert record.kind == "negative-ack"
+    assert record.details == {"txn": txn.txn_id, "sites": (2, 5)}
+
+
+def test_record_message_emits_trace_details(env):
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    metrics = MetricsCollector(env, warmup_time=0.0, tracer=tracer)
+    metrics.record_message(to_central=True, kind="txn", site=3)
+    metrics.record_message(to_central=False, kind="auth-reply", site=1)
+    first, second = tracer.records[-2:]
+    assert first.kind == "message"
+    assert first.details == {"direction": "to-central", "message": "txn",
+                             "site": 3}
+    assert second.details["direction"] == "to-site"
+    assert second.details["message"] == "auth-reply"

@@ -1,0 +1,173 @@
+"""Tests for windowed telemetry and the response-time decomposition.
+
+Covers the telemetry layer in isolation (window maths, ring buffer,
+drift statistic, warm-up adequacy) and the end-to-end invariant the
+instrumentation was built for: the per-phase response-time
+decomposition sums to the measured mean response time.
+"""
+
+import pytest
+
+from repro.hybrid.telemetry import (
+    TELEMETRY_FIELDS,
+    TelemetrySeries,
+    TelemetryWindow,
+)
+
+
+def _window(start=0.0, end=1.0, completed=10, aborts=1, n_local=4,
+            n_central=2, class_a_arrivals=8, shipped=2, **extra):
+    defaults = dict(
+        start=start, end=end, completed=completed, aborts=aborts,
+        negative_acks=0, class_a_arrivals=class_a_arrivals,
+        shipped=shipped, messages=5, n_local=n_local, n_central=n_central,
+        local_queue=1.5, central_queue=3.0, local_utilization=0.6,
+        central_utilization=0.8)
+    defaults.update(extra)
+    return TelemetryWindow(**defaults)
+
+
+# -- TelemetryWindow ---------------------------------------------------------
+
+def test_window_derived_rates():
+    window = _window(start=2.0, end=4.0, completed=10, aborts=2)
+    assert window.duration == pytest.approx(2.0)
+    assert window.throughput == pytest.approx(5.0)
+    assert window.abort_rate == pytest.approx(0.2)
+    assert window.shipped_fraction == pytest.approx(0.25)
+    assert window.population == 6
+
+
+def test_window_rates_guard_division_by_zero():
+    window = _window(start=1.0, end=1.0, completed=0,
+                     class_a_arrivals=0, shipped=0)
+    assert window.throughput == 0.0
+    assert window.abort_rate == 0.0
+    assert window.shipped_fraction == 0.0
+
+
+def test_window_to_row_matches_field_order():
+    row = _window().to_row()
+    assert list(row) == TELEMETRY_FIELDS
+
+
+# -- TelemetrySeries ---------------------------------------------------------
+
+def test_series_ring_evicts_oldest_and_counts_drops():
+    series = TelemetrySeries(capacity=3)
+    for i in range(5):
+        series.append(_window(start=float(i), end=float(i + 1)))
+    assert len(series) == 3
+    assert series.dropped == 2
+    assert series.windows[0].start == 2.0
+    assert series.windows[-1].start == 4.0
+
+
+def test_series_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TelemetrySeries(capacity=0)
+
+
+def test_drift_zero_for_stationary_series():
+    assert TelemetrySeries.drift([5.0] * 10) == pytest.approx(0.0)
+
+
+def test_drift_positive_for_growing_series():
+    assert TelemetrySeries.drift([1.0, 1.0, 3.0, 3.0]) > 0.5
+
+
+def test_drift_short_series_is_zero():
+    assert TelemetrySeries.drift([1.0, 100.0]) == 0.0
+
+
+def test_post_warmup_filters_by_window_start():
+    series = TelemetrySeries()
+    for i in range(6):
+        series.append(_window(start=float(i), end=float(i + 1)))
+    post = series.post_warmup(3.0)
+    assert [w.start for w in post] == [3.0, 4.0, 5.0]
+
+
+def test_warmup_adequate_none_with_too_few_windows():
+    series = TelemetrySeries()
+    for i in range(3):
+        series.append(_window(start=float(i), end=float(i + 1)))
+    assert series.warmup_adequate(0.0) is None
+
+
+def test_warmup_adequate_flags_growing_population():
+    series = TelemetrySeries()
+    # A run saturating mid-measurement: population keeps climbing.
+    for i in range(8):
+        series.append(_window(start=float(i), end=float(i + 1),
+                              n_local=10 * (i + 1), n_central=0))
+    assert series.warmup_adequate(0.0) is False
+    assert series.warmup_trend(0.0)["population"] > 0.5
+
+
+def test_warmup_adequate_for_stationary_run():
+    series = TelemetrySeries()
+    for i in range(8):
+        series.append(_window(start=float(i), end=float(i + 1)))
+    assert series.warmup_adequate(0.0) is True
+
+
+# -- end-to-end: sampler wired into a run ------------------------------------
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    """One Figure 4.1 baseline run (no load sharing, moderate load)."""
+    from repro.core import STRATEGIES
+    from repro.hybrid import HybridSystem, paper_config
+
+    config = paper_config(total_rate=15.0, comm_delay=0.2,
+                          warmup_time=10.0, measure_time=40.0, seed=42)
+    router_factory = STRATEGIES["none"](config)
+    return HybridSystem(config, router_factory).run()
+
+
+def test_phase_means_sum_to_mean_response_time(baseline_result):
+    # Acceptance criterion: the decomposition explains the mean response
+    # time to within 2% on the Figure 4.1 baseline.
+    result = baseline_result
+    assert result.completed > 100
+    total = sum(result.response_time_decomposition.values())
+    assert total == pytest.approx(result.mean_response_time, rel=0.02)
+    assert result.decomposition_residual < 0.02
+
+
+def test_decomposition_has_full_phase_vocabulary(baseline_result):
+    from repro.sim.spans import PHASES
+
+    decomposition = baseline_result.response_time_decomposition
+    assert set(decomposition) == set(PHASES)
+    assert all(seconds >= 0.0 for seconds in decomposition.values())
+    # Per-class breakdown exists and covers class A.
+    from repro.db.transaction import TransactionClass
+
+    assert TransactionClass.A in baseline_result.decomposition_by_class
+
+
+def test_run_produces_telemetry_windows(baseline_result):
+    result = baseline_result
+    assert len(result.telemetry) >= 40
+    assert result.telemetry_interval == pytest.approx(1.0)
+    assert result.telemetry_windows_dropped == 0
+    # Measurement-window throughput roughly matches the scalar summary.
+    post = [w for w in result.telemetry if w.start >= 10.0]
+    mean_tp = sum(w.throughput for w in post) / len(post)
+    assert mean_tp == pytest.approx(result.throughput, rel=0.15)
+    # Counter columns are zero during warm-up by construction.
+    warm = [w for w in result.telemetry if w.end <= 10.0]
+    assert all(w.completed == 0 for w in warm)
+
+
+def test_run_warmup_verdict_and_engine_profile(baseline_result):
+    result = baseline_result
+    assert result.warmup_adequate is True
+    assert set(result.warmup_trend) == {"throughput", "population",
+                                        "central_queue"}
+    assert result.engine_events > 0
+    assert result.engine_events_per_sec > 0
+    assert result.engine_heap_peak > 0
+    assert result.wall_clock_seconds > 0

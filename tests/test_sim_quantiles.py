@@ -63,6 +63,33 @@ def test_p99_tail():
     assert estimator.value == pytest.approx(exact, rel=0.05)
 
 
+def test_median_of_lognormal_stream_matches_numpy():
+    # Heavy right skew -- the shape of response-time distributions.
+    rng = np.random.default_rng(4)
+    draws = rng.lognormal(mean=0.0, sigma=1.0, size=50_000)
+    for q in (0.5, 0.9):
+        estimator = P2Quantile(q)
+        for value in draws:
+            estimator.add(float(value))
+        exact = float(np.quantile(draws, q))
+        assert estimator.value == pytest.approx(exact, rel=0.05)
+
+
+def test_p90_of_bimodal_stream_matches_numpy():
+    # Two well-separated modes (local vs shipped response times); the
+    # marker-based estimator must not get stuck in the gap.
+    rng = np.random.default_rng(5)
+    fast = rng.normal(1.0, 0.1, 25_000)
+    slow = rng.normal(5.0, 0.5, 25_000)
+    draws = np.concatenate([fast, slow])
+    rng.shuffle(draws)
+    estimator = P2Quantile(0.9)
+    for value in draws:
+        estimator.add(float(value))
+    exact = float(np.quantile(draws, 0.9))
+    assert estimator.value == pytest.approx(exact, rel=0.05)
+
+
 def test_count_tracks_observations():
     estimator = P2Quantile(0.5)
     for i in range(10):

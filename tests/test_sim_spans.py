@@ -1,0 +1,123 @@
+"""Unit tests for lifecycle span recording (repro.sim.spans)."""
+
+import pytest
+
+from repro.sim.spans import (
+    PHASE_AUTH,
+    PHASE_COMM,
+    PHASE_CPU_SERVICE,
+    PHASE_CPU_WAIT,
+    PHASE_IO,
+    PHASE_LOCK_WAIT,
+    PHASE_OTHER,
+    PHASES,
+    SpanRecorder,
+)
+
+
+def test_phase_vocabulary_is_complete_and_ordered():
+    assert PHASES == (PHASE_COMM, PHASE_CPU_WAIT, PHASE_CPU_SERVICE,
+                      PHASE_IO, PHASE_LOCK_WAIT, PHASE_AUTH, PHASE_OTHER)
+
+
+def test_fresh_recorder_is_empty():
+    spans = SpanRecorder()
+    assert spans.current_phase is None
+    assert spans.started_at is None
+    assert spans.closed_at is None
+    assert spans.total == 0.0
+    assert spans.as_dict() == {phase: 0.0 for phase in PHASES}
+
+
+def test_enter_accumulates_previous_phase():
+    spans = SpanRecorder()
+    spans.enter(PHASE_COMM, 1.0)
+    spans.enter(PHASE_CPU_WAIT, 3.0)
+    spans.enter(PHASE_CPU_SERVICE, 3.5)
+    spans.close(4.0)
+    assert spans.get(PHASE_COMM) == pytest.approx(2.0)
+    assert spans.get(PHASE_CPU_WAIT) == pytest.approx(0.5)
+    assert spans.get(PHASE_CPU_SERVICE) == pytest.approx(0.5)
+    assert spans.current_phase is None
+    assert spans.closed_at == 4.0
+
+
+def test_exit_falls_back_to_other():
+    spans = SpanRecorder()
+    spans.enter(PHASE_IO, 0.0)
+    spans.exit(2.0)
+    assert spans.current_phase == PHASE_OTHER
+    spans.close(5.0)
+    assert spans.get(PHASE_IO) == pytest.approx(2.0)
+    assert spans.get(PHASE_OTHER) == pytest.approx(3.0)
+
+
+def test_reentering_phase_accumulates():
+    spans = SpanRecorder()
+    spans.enter(PHASE_LOCK_WAIT, 0.0)
+    spans.enter(PHASE_CPU_SERVICE, 1.0)
+    spans.enter(PHASE_LOCK_WAIT, 2.0)
+    spans.close(4.5)
+    assert spans.get(PHASE_LOCK_WAIT) == pytest.approx(3.5)
+
+
+def test_totals_sum_to_lifetime_exactly():
+    # The invariant the response-time decomposition relies on: every
+    # instant between anchor and close lands in exactly one bucket.
+    spans = SpanRecorder()
+    times = [0.0, 0.7, 1.13, 2.9, 3.3, 7.25]
+    phases = [PHASE_COMM, PHASE_CPU_WAIT, PHASE_CPU_SERVICE,
+              PHASE_AUTH, PHASE_OTHER]
+    for phase, at in zip(phases, times):
+        spans.enter(phase, at)
+    spans.close(times[-1])
+    lifetime = spans.closed_at - spans.started_at
+    assert spans.total == pytest.approx(lifetime, rel=1e-12)
+
+
+def test_zero_duration_phases_leave_no_bucket():
+    spans = SpanRecorder()
+    spans.enter(PHASE_COMM, 1.0)
+    spans.enter(PHASE_AUTH, 1.0)
+    spans.enter(PHASE_IO, 1.0)
+    spans.close(2.0)
+    assert spans.totals == {PHASE_IO: 1.0}
+
+
+def test_close_without_enter_is_harmless():
+    spans = SpanRecorder()
+    spans.close(3.0)
+    assert spans.total == 0.0
+    assert spans.started_at == 3.0
+    assert spans.closed_at == 3.0
+
+
+def test_transitions_counter():
+    spans = SpanRecorder()
+    spans.enter(PHASE_COMM, 0.0)
+    spans.exit(1.0)
+    spans.enter(PHASE_IO, 2.0)
+    assert spans.transitions == 3
+
+
+def _make_txn(txn_id: int):
+    from repro.db.transaction import Transaction, TransactionClass
+
+    return Transaction(txn_id=txn_id, txn_class=TransactionClass.A,
+                       home_site=0, references=(), arrival_time=0.0)
+
+
+def test_transaction_carries_private_recorder():
+    first = _make_txn(1)
+    second = _make_txn(2)
+    assert first.spans is not second.spans
+    first.spans.enter(PHASE_COMM, 0.0)
+    assert second.spans.current_phase is None
+
+
+def test_transaction_complete_closes_spans():
+    txn = _make_txn(1)
+    txn.spans.enter(PHASE_CPU_SERVICE, 0.0)
+    txn.complete(2.5)
+    assert txn.spans.closed_at == 2.5
+    assert txn.spans.get(PHASE_CPU_SERVICE) == pytest.approx(2.5)

@@ -80,3 +80,50 @@ def test_make_tracer_factory():
     assert isinstance(real, Tracer)
     assert real.kinds == {"a"}
     assert real.max_records == 10
+
+
+def test_null_tracer_records_not_shared_between_instances():
+    # Regression: `records` used to be a class attribute, so two
+    # NullTracers aliased the same list.
+    first = NullTracer()
+    second = NullTracer()
+    assert first.records is not second.records
+    first.records.append("sentinel")
+    assert second.records == []
+
+
+def test_dropped_surfaces_in_counts_and_dump():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.emit(float(i), "e")
+    counts = tracer.counts()
+    assert counts["e"] == 2
+    assert counts["dropped"] == 3
+    dump = tracer.dump()
+    assert "3 record(s) dropped" in dump
+    assert "max_records=2" in dump
+
+
+def test_counts_without_drops_has_no_dropped_key():
+    tracer = Tracer(max_records=10)
+    tracer.emit(0.0, "e")
+    assert "dropped" not in tracer.counts()
+    assert "dropped" not in tracer.dump()
+
+
+def test_sink_receives_buffer_dropped_records():
+    # The sink sees every record, including ones the bounded buffer
+    # evicts -- that is what makes streaming JSONL export lossless.
+    seen = []
+    tracer = Tracer(max_records=2, sink=seen.append)
+    for i in range(5):
+        tracer.emit(float(i), "e")
+    assert len(seen) == 5
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+
+
+def test_record_as_dict_round_trips():
+    record = TraceRecord(1.5, "commit", {"txn": 3, "site": 0})
+    assert record.as_dict() == {"time": 1.5, "kind": "commit",
+                                "txn": 3, "site": 0}
