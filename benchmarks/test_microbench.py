@@ -4,13 +4,26 @@ These are genuine pytest-benchmark timing runs (many rounds) for the
 pieces whose speed determines how large an experiment the harness can
 sweep: the DES kernel, the lock manager, the analytic model and the
 static optimiser.
+
+``test_bench_figure_suite_parallel_speedup`` additionally records its
+wall-clock numbers into ``BENCH_parallel.json`` at the repository root,
+so the serial-vs-parallel perf trajectory accumulates across PRs.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.core import AnalyticModel, optimize_static
 from repro.db import LockManager, LockMode
+from repro.experiments import RunSettings
+from repro.experiments.figures import figure_4_2
 from repro.hybrid import HybridSystem, paper_config
 from repro.core.router import AlwaysLocalRouter
 from repro.sim import Environment, Resource
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_bench_engine_event_throughput(benchmark):
@@ -29,6 +42,86 @@ def test_bench_engine_event_throughput(benchmark):
         return env.now
 
     assert benchmark(run) == 2000.0
+
+
+def test_bench_engine_step_fast_path(benchmark):
+    """Pins the kernel's raw step rate (the ``__slots__`` fast path).
+
+    One process cycling 50 K timeouts isolates ``_enqueue``/``step``/
+    ``_resume`` from any model code.  The asserted floor is deliberately
+    conservative (any regression that re-introduces per-event ``__dict__``
+    allocation or per-push peak tracking costs far more than 2x).
+    """
+    n_events = 50_000
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(n_events):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        started = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - started
+        return env.events_processed / elapsed
+
+    events_per_sec = benchmark(run)
+    assert events_per_sec > 100_000, (
+        f"kernel fast path regressed: {events_per_sec:,.0f} events/s")
+
+
+def test_bench_figure_suite_parallel_speedup():
+    """Times figure 4.2 serial vs parallel; records BENCH_parallel.json.
+
+    Not a pytest-benchmark fixture run: the point is one honest
+    wall-clock comparison per invocation, appended to the repository's
+    perf trajectory.  The scale is small enough for CI but large enough
+    that pool start-up does not dominate.
+    """
+    scale = float(os.environ.get("REPRO_PARALLEL_BENCH_SCALE", "0.1"))
+    workers = min(4, os.cpu_count() or 1)
+    settings = RunSettings(scale=scale)
+
+    started = time.perf_counter()
+    serial = figure_4_2(settings, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = figure_4_2(settings, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    assert serial.curves == parallel.curves  # bit-identical reassembly
+
+    record = {
+        "benchmark": "figure_4_2",
+        "scale": scale,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 0 else None,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    target = REPO_ROOT / "BENCH_parallel.json"
+    history = []
+    if target.exists():
+        try:
+            history = json.loads(target.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    target.write_text(json.dumps(history, indent=2) + "\n")
+
+    # On a single-core runner the pool cannot win; only enforce the
+    # speedup where hardware parallelism actually exists.
+    if (os.cpu_count() or 1) >= 4:
+        assert serial_seconds / parallel_seconds >= 2.0, (
+            f"parallel figure suite too slow: {record}")
 
 
 def test_bench_resource_contention(benchmark):

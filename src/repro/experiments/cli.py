@@ -3,9 +3,11 @@
 Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
 
     hybriddb-experiment --figure 4.1
+    hybriddb-experiment --figure 4.2 --workers 4
     hybriddb-experiment --figure 4.4 --scale 0.5 --replications 2
-    hybriddb-experiment --figure all --scale 0.3
+    hybriddb-experiment --figure all --scale 0.3 --workers 0
     hybriddb-experiment --figure 4.3 --csv fig43.csv
+    hybriddb-experiment --figure 4.1 --no-cache
     hybriddb-experiment --validate
     hybriddb-experiment --list
     hybriddb-experiment --run queue-length --rate 35 \\
@@ -20,6 +22,7 @@ import time
 
 from ..core import STRATEGIES
 from ..sim.trace import Tracer
+from .cache import ResultCache, default_cache_dir
 from .export import write_figure_csv, write_telemetry, write_trace_jsonl
 from .figures import ALL_FIGURES
 from .report import curve_summary, figure_report, format_table
@@ -78,13 +81,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="independent replications per point")
     parser.add_argument("--seed", type=int, default=7_001,
                         help="base random seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="simulation processes for figure/sensitivity "
+                             "runs (1 = serial, 0 = one per CPU); results "
+                             "are bit-identical to serial execution")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="result-cache directory (default "
+                             f"{default_cache_dir()}, or "
+                             "$HYBRIDDB_CACHE_DIR)")
     return parser
 
 
 def _run_figure(figure_id: str, settings: RunSettings,
-                csv_path: str | None) -> None:
+                csv_path: str | None, workers: int,
+                cache: ResultCache | None) -> None:
     started = time.time()
-    figure = ALL_FIGURES[figure_id](settings)
+    figure = ALL_FIGURES[figure_id](settings, workers=workers, cache=cache)
     elapsed = time.time() - started
     print(figure_report(figure))
     print()
@@ -93,7 +107,10 @@ def _run_figure(figure_id: str, settings: RunSettings,
     if csv_path is not None:
         target = write_figure_csv(figure, csv_path)
         print(f"\n[data written to {target}]")
-    print(f"\n[{elapsed:.1f}s of wall-clock simulation]")
+    print(f"\n[{elapsed:.1f}s of wall-clock simulation, "
+          f"{workers} worker(s)]")
+    if cache is not None:
+        print(f"[{cache.stats()}]")
 
 
 def _run_single(args, settings: RunSettings) -> int:
@@ -181,8 +198,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.replications < 1:
         print("error: --replications must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
     settings = RunSettings(replications=args.replications,
                            base_seed=args.seed, scale=args.scale)
+    workers = args.workers  # 0 -> auto-detect inside ParallelRunner
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     if (args.telemetry or args.trace_out) and not args.run:
         print("error: --telemetry/--trace-out require --run",
               file=sys.stderr)
@@ -215,9 +237,12 @@ def main(argv: list[str] | None = None) -> int:
             args.sensitivity, DEFAULT_SWEEPS[args.sensitivity],
             warmup_time=20.0 * settings.scale + 5.0,
             measure_time=60.0 * settings.scale + 10.0,
-            seed=settings.base_seed)
+            seed=settings.base_seed,
+            workers=workers, cache=cache)
         print(sweep.to_table())
         print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+        if cache is not None:
+            print(f"[{cache.stats()}]")
         if not args.figure:
             return 0
     if not args.figure:
@@ -230,10 +255,10 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         for figure_id in sorted(ALL_FIGURES):
-            _run_figure(figure_id, settings, None)
+            _run_figure(figure_id, settings, None, workers, cache)
             print("=" * 72)
         return 0
-    _run_figure(args.figure, settings, args.csv)
+    _run_figure(args.figure, settings, args.csv, workers, cache)
     return 0
 
 

@@ -23,12 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.heuristics import threshold_router_factory
-from .runner import Curve, RunSettings, run_curve
+from ..hybrid.config import SystemConfig
+from .cache import ResultCache
+from .runner import Curve, RunSettings, run_curve_set
 
 __all__ = [
     "FigureData",
     "BASE_RATES",
     "OVERLOAD_LIMITED_RATES",
+    "ThresholdStrategy",
     "figure_4_1",
     "figure_4_2",
     "figure_4_3",
@@ -52,6 +55,26 @@ BEST_DYNAMIC = "min-average-population"
 
 
 @dataclass(frozen=True)
+class ThresholdStrategy:
+    """Picklable strategy builder for the Figure 4.4/4.7 heuristic.
+
+    A plain ``lambda`` closing over the threshold cannot cross a process
+    boundary and has no stable cache identity; this tiny callable has
+    both, so the threshold sweeps parallelise and cache like every named
+    strategy.
+    """
+
+    threshold: float
+
+    def __call__(self, config: SystemConfig):
+        return threshold_router_factory(self.threshold)
+
+    @property
+    def cache_key(self) -> str:
+        return f"threshold-utilization({self.threshold!r})"
+
+
+@dataclass(frozen=True)
 class FigureData:
     """Curves plus metadata for one reproduced figure."""
 
@@ -72,12 +95,11 @@ class FigureData:
 
 def _rt_figure(figure_id: str, title: str, strategies: list[tuple],
                comm_delay: float, settings: RunSettings,
-               expectations: tuple[str, ...]) -> FigureData:
-    curves = []
-    for entry in strategies:
-        strategy, label, rates = entry
-        curves.append(run_curve(strategy, rates, label=label,
-                                comm_delay=comm_delay, settings=settings))
+               expectations: tuple[str, ...],
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
+    curves = run_curve_set(strategies, comm_delay=comm_delay,
+                           settings=settings, workers=workers, cache=cache)
     return FigureData(
         figure_id=figure_id, title=title,
         x_axis="total transaction rate (tps)",
@@ -88,7 +110,9 @@ def _rt_figure(figure_id: str, title: str, strategies: list[tuple],
 
 def figure_4_1(settings: RunSettings | None = None,
                comm_delay: float = 0.2,
-               figure_id: str = "4.1") -> FigureData:
+               figure_id: str = "4.1",
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """No load sharing vs optimal static vs best dynamic."""
     settings = settings or RunSettings()
     return _rt_figure(
@@ -100,7 +124,7 @@ def figure_4_1(settings: RunSettings | None = None,
             ("static-optimal", "static", BASE_RATES),
             (BEST_DYNAMIC, "best-dynamic", BASE_RATES),
         ],
-        comm_delay, settings,
+        comm_delay, settings, workers=workers, cache=cache,
         expectations=(
             "no-load-sharing saturates first (paper: ~20 tps)",
             "static extends the supportable rate (paper: ~30 tps)",
@@ -110,7 +134,9 @@ def figure_4_1(settings: RunSettings | None = None,
 
 def figure_4_2(settings: RunSettings | None = None,
                comm_delay: float = 0.2,
-               figure_id: str = "4.2") -> FigureData:
+               figure_id: str = "4.2",
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """The six dynamic curves A-F of the paper."""
     settings = settings or RunSettings()
     return _rt_figure(
@@ -125,7 +151,7 @@ def figure_4_2(settings: RunSettings | None = None,
             ("min-average-population", "F:min-average(n)", BASE_RATES),
             ("static-optimal", "static", BASE_RATES),
         ],
-        comm_delay, settings,
+        comm_delay, settings, workers=workers, cache=cache,
         expectations=(
             "measured-response (A) is the weakest dynamic scheme",
             "queue-length (B) lands near the static optimum",
@@ -136,17 +162,19 @@ def figure_4_2(settings: RunSettings | None = None,
 
 def figure_4_3(settings: RunSettings | None = None,
                comm_delay: float = 0.2,
-               figure_id: str = "4.3") -> FigureData:
+               figure_id: str = "4.3",
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """Fraction of class A transactions shipped vs arrival rate."""
     settings = settings or RunSettings()
-    curves = []
-    for strategy, label in [
+    curves = run_curve_set(
+        [(strategy, label, BASE_RATES) for strategy, label in [
             ("static-optimal", "static"),
             ("measured-response", "A:measured-response"),
             ("queue-length", "B:queue-length"),
-            (BEST_DYNAMIC, "best-dynamic")]:
-        curves.append(run_curve(strategy, BASE_RATES, label=label,
-                                comm_delay=comm_delay, settings=settings))
+            (BEST_DYNAMIC, "best-dynamic")]],
+        comm_delay=comm_delay, settings=settings,
+        workers=workers, cache=cache)
     return FigureData(
         figure_id=figure_id,
         title=f"Fraction of class A shipped (delay {comm_delay}s)",
@@ -163,11 +191,13 @@ def figure_4_3(settings: RunSettings | None = None,
 def figure_4_4(settings: RunSettings | None = None,
                comm_delay: float = 0.2,
                thresholds: tuple[float, ...] = (0.0, -0.1, -0.2, -0.3),
-               figure_id: str = "4.4") -> FigureData:
+               figure_id: str = "4.4",
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """Thresholded queue-length heuristic vs the best dynamic scheme."""
     settings = settings or RunSettings()
     strategies: list[tuple] = [
-        (lambda config, _th=threshold: threshold_router_factory(_th),
+        (ThresholdStrategy(threshold),
          f"threshold({threshold:+.1f})", BASE_RATES)
         for threshold in thresholds
     ]
@@ -176,6 +206,7 @@ def figure_4_4(settings: RunSettings | None = None,
         figure_id,
         f"Tuning the queue-length threshold (delay {comm_delay}s)",
         strategies, comm_delay, settings,
+        workers=workers, cache=cache,
         expectations=(
             "at 0.2s delay the best threshold is negative (~-0.2)",
             "over-shipping thresholds (-0.3) degrade performance",
@@ -183,20 +214,29 @@ def figure_4_4(settings: RunSettings | None = None,
         ))
 
 
-def figure_4_5(settings: RunSettings | None = None) -> FigureData:
+def figure_4_5(settings: RunSettings | None = None,
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """Figure 4.1 at 0.5 s communications delay."""
-    return figure_4_1(settings, comm_delay=0.5, figure_id="4.5")
+    return figure_4_1(settings, comm_delay=0.5, figure_id="4.5",
+                      workers=workers, cache=cache)
 
 
-def figure_4_6(settings: RunSettings | None = None) -> FigureData:
+def figure_4_6(settings: RunSettings | None = None,
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """Figure 4.3 at 0.5 s communications delay (static inflection)."""
-    return figure_4_3(settings, comm_delay=0.5, figure_id="4.6")
+    return figure_4_3(settings, comm_delay=0.5, figure_id="4.6",
+                      workers=workers, cache=cache)
 
 
-def figure_4_7(settings: RunSettings | None = None) -> FigureData:
+def figure_4_7(settings: RunSettings | None = None,
+               workers: int | None = 1,
+               cache: ResultCache | None = None) -> FigureData:
     """Figure 4.4 at 0.5 s delay: optimal threshold moves positive-ward."""
     return figure_4_4(settings, comm_delay=0.5,
-                      thresholds=(0.0, 0.1, 0.2, -0.2), figure_id="4.7")
+                      thresholds=(0.0, 0.1, 0.2, -0.2), figure_id="4.7",
+                      workers=workers, cache=cache)
 
 
 ALL_FIGURES = {

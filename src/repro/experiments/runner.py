@@ -15,15 +15,17 @@ uniformly, so the same experiment definitions serve quick smoke tests
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..core import STRATEGIES
 from ..hybrid.config import SystemConfig, paper_config
 from ..hybrid.metrics import SimulationResult
 from ..hybrid.system import HybridSystem
+from .cache import ResultCache
+from .parallel import JobSpec, ParallelRunner
 
 __all__ = ["RunSettings", "CurvePoint", "Curve", "run_point", "run_curve",
-           "run_single", "StrategyBuilder"]
+           "run_curve_set", "run_single", "StrategyBuilder"]
 
 #: ``name -> (config -> RouterFactory)`` -- the registry from repro.core,
 #: re-exported here so experiment definitions read naturally.
@@ -39,6 +41,13 @@ class RunSettings:
     replications: int = 1
     base_seed: int = 7_001
     scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError(
+                f"replications must be >= 1, got {self.replications}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
 
     def config_for(self, total_rate: float, comm_delay: float,
                    **overrides) -> SystemConfig:
@@ -123,23 +132,35 @@ class Curve:
 
 
 def _average(values: list[float]) -> float:
+    if not values:
+        raise ValueError(
+            "cannot average zero replications; RunSettings.replications "
+            "must be >= 1")
     return sum(values) / len(values)
 
 
-def run_point(strategy: str | StrategyBuilder, total_rate: float,
-              comm_delay: float = 0.2,
-              settings: RunSettings | None = None,
-              **config_overrides) -> CurvePoint:
-    """Run one strategy at one arrival rate (averaging replications)."""
-    settings = settings or RunSettings()
-    builder = STRATEGIES[strategy] if isinstance(strategy, str) else strategy
-    results: list[SimulationResult] = []
-    for replication in range(settings.replications):
-        config = settings.config_for(
+def _check_strategy(strategy: str | StrategyBuilder) -> None:
+    """Fail fast (with KeyError, as the serial loop did) on bad names."""
+    if isinstance(strategy, str) and strategy not in STRATEGIES:
+        raise KeyError(strategy)
+
+
+def _point_specs(strategy: str | StrategyBuilder, total_rate: float,
+                 comm_delay: float, settings: RunSettings,
+                 config_overrides: dict) -> list[JobSpec]:
+    """One job per replication; replication ``r`` seeds ``base_seed + r``."""
+    return [
+        JobSpec(strategy=strategy, config=settings.config_for(
             total_rate, comm_delay,
-            seed=settings.base_seed + replication, **config_overrides)
-        router_factory = builder(config)
-        results.append(HybridSystem(config, router_factory).run())
+            seed=settings.base_seed + replication, **config_overrides))
+        for replication in range(settings.replications)
+    ]
+
+
+def _assemble_point(total_rate: float,
+                    results: Sequence[SimulationResult]) -> CurvePoint:
+    """Average one rate's replications into a curve point."""
+    results = list(results)
     return CurvePoint(
         total_rate=total_rate,
         mean_response_time=_average(
@@ -153,6 +174,26 @@ def run_point(strategy: str | StrategyBuilder, total_rate: float,
             [r.mean_central_utilization for r in results]),
         replications=tuple(results),
     )
+
+
+def run_point(strategy: str | StrategyBuilder, total_rate: float,
+              comm_delay: float = 0.2,
+              settings: RunSettings | None = None,
+              workers: int | None = 1,
+              cache: ResultCache | None = None,
+              **config_overrides) -> CurvePoint:
+    """Run one strategy at one arrival rate (averaging replications).
+
+    ``workers`` > 1 fans the replications out over a process pool;
+    ``cache`` reuses previously simulated results.  Both leave the
+    returned point bit-identical to a serial, uncached run.
+    """
+    settings = settings or RunSettings()
+    _check_strategy(strategy)
+    runner = ParallelRunner(workers=workers, cache=cache)
+    specs = _point_specs(strategy, total_rate, comm_delay, settings,
+                         config_overrides)
+    return _assemble_point(total_rate, runner.run_jobs(specs))
 
 
 def run_single(strategy: str | StrategyBuilder, total_rate: float,
@@ -179,13 +220,63 @@ def run_single(strategy: str | StrategyBuilder, total_rate: float,
 def run_curve(strategy: str | StrategyBuilder, rates: list[float],
               label: str | None = None, comm_delay: float = 0.2,
               settings: RunSettings | None = None,
+              workers: int | None = 1,
+              cache: ResultCache | None = None,
               **config_overrides) -> Curve:
-    """Sweep one strategy over arrival rates."""
-    settings = settings or RunSettings()
-    points = tuple(
-        run_point(strategy, rate, comm_delay=comm_delay,
-                  settings=settings, **config_overrides)
-        for rate in rates)
+    """Sweep one strategy over arrival rates.
+
+    All (rate, replication) simulations of the sweep are independent, so
+    with ``workers`` > 1 the whole curve is fanned out over one process
+    pool rather than point by point.
+    """
     if label is None:
         label = strategy if isinstance(strategy, str) else "custom"
-    return Curve(label=label, comm_delay=comm_delay, points=points)
+    curves = run_curve_set([(strategy, label, list(rates))],
+                           comm_delay=comm_delay, settings=settings,
+                           workers=workers, cache=cache,
+                           **config_overrides)
+    return curves[0]
+
+
+def run_curve_set(entries: Sequence[tuple[str | StrategyBuilder, str,
+                                          list[float]]],
+                  comm_delay: float = 0.2,
+                  settings: RunSettings | None = None,
+                  workers: int | None = 1,
+                  cache: ResultCache | None = None,
+                  **config_overrides) -> list[Curve]:
+    """Run several ``(strategy, label, rates)`` sweeps as one job batch.
+
+    This is the figure harness's entry point: batching every curve of a
+    figure into a single :class:`ParallelRunner` call keeps the pool
+    saturated across strategies instead of joining between curves.
+    Results are reassembled strictly in submission order, so the output
+    is bit-identical to running each curve serially.
+    """
+    settings = settings or RunSettings()
+    specs: list[JobSpec] = []
+    layout: list[tuple[str | StrategyBuilder, str, list[float],
+                       list[int]]] = []
+    for strategy, label, rates in entries:
+        _check_strategy(strategy)
+        counts: list[int] = []
+        for rate in rates:
+            point_specs = _point_specs(strategy, rate, comm_delay,
+                                       settings, config_overrides)
+            counts.append(len(point_specs))
+            specs.extend(point_specs)
+        layout.append((strategy, label, list(rates), counts))
+
+    results = ParallelRunner(workers=workers, cache=cache).run_jobs(specs)
+
+    curves: list[Curve] = []
+    cursor = 0
+    for strategy, label, rates, counts in layout:
+        points = []
+        for rate, count in zip(rates, counts):
+            points.append(_assemble_point(
+                rate, results[cursor:cursor + count]))
+            cursor += count
+        curves.append(Curve(label=label, comm_delay=comm_delay,
+                            points=tuple(points)))
+    return curves

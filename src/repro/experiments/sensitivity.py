@@ -18,9 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from ..core import STRATEGIES, optimize_static
+from ..core import optimize_static
 from ..hybrid.config import SystemConfig, paper_config
-from ..hybrid.system import HybridSystem
+from .cache import ResultCache
+from .parallel import JobSpec, ParallelRunner
 from .report import format_table
 
 __all__ = ["SensitivityPoint", "SensitivitySweep", "sweep_parameter"]
@@ -102,20 +103,36 @@ def sweep_parameter(parameter: str, values: Sequence[float],
                     total_rate: float = 25.0,
                     warmup_time: float = 20.0,
                     measure_time: float = 60.0,
-                    seed: int = 11_011) -> SensitivitySweep:
-    """Sweep one parameter; everything else stays at the paper's base."""
-    points = []
+                    seed: int = 11_011,
+                    workers: int | None = 1,
+                    cache: ResultCache | None = None) -> SensitivitySweep:
+    """Sweep one parameter; everything else stays at the paper's base.
+
+    Every (setting, strategy) simulation is independent, so the whole
+    grid runs as one :class:`ParallelRunner` batch; ``workers`` > 1
+    fans it over a process pool and ``cache`` reuses completed cells.
+    """
+    configs = []
     for value in values:
         base = paper_config(total_rate=total_rate,
                             warmup_time=warmup_time,
                             measure_time=measure_time, seed=seed)
-        config = _configure(parameter, value, base)
+        configs.append(_configure(parameter, value, base))
+
+    specs = [JobSpec(strategy=name, config=config)
+             for config in configs
+             for name in REFERENCE_STRATEGIES]
+    results = ParallelRunner(workers=workers, cache=cache).run_jobs(specs)
+
+    points = []
+    cursor = 0
+    for value, config in zip(values, configs):
         optimum = optimize_static(config)
         response_times = {}
         shipped_fractions = {}
         for name in REFERENCE_STRATEGIES:
-            factory = STRATEGIES[name](config)
-            result = HybridSystem(config, factory).run()
+            result = results[cursor]
+            cursor += 1
             response_times[name] = result.mean_response_time
             shipped_fractions[name] = result.shipped_fraction
         points.append(SensitivityPoint(

@@ -27,6 +27,12 @@ import heapq
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
+# Bound at module level: the scheduler calls these once per event, and a
+# global lookup is measurably cheaper than ``heapq.heappush`` attribute
+# traversal in the hot loop.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "Environment",
     "Event",
@@ -51,6 +57,8 @@ class StopSimulation(Exception):
 
 class _Pending:
     """Sentinel for an event value that has not been decided yet."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<PENDING>"
@@ -82,7 +90,14 @@ class Event:
     triggered), *triggered* (scheduled to fire, value decided) and
     *processed* (callbacks have run).  Waiting processes register
     callbacks; when the event fires, each callback receives the event.
+
+    ``__slots__`` keeps instances dict-free: millions of events are
+    allocated per run, and slotted attribute access is the kernel's
+    hottest path.  Subclasses outside this module that add attributes
+    still work (they simply regain a ``__dict__``).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -176,10 +191,16 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated time units in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ -- timeouts are the most frequently
+        # allocated event kind, so skip the extra method call.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -191,6 +212,8 @@ class Timeout(Event):
 
 class _ConditionValue:
     """Mapping of event -> value for the events a condition collected."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -212,6 +235,8 @@ class _ConditionValue:
 
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("_evaluate", "_events", "_fired", "_count")
 
     def __init__(self, env: "Environment",
                  evaluate: Callable[[list[Event], int], bool],
@@ -257,6 +282,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when *all* constituent events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda events, count: count == len(events),
                          events)
@@ -264,6 +291,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Fires when *any* constituent event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda events, count: count >= 1, events)
@@ -281,6 +310,8 @@ class Process(Event):
     event that fires when the generator returns, carrying the return
     value -- so processes can wait for other processes.
     """
+
+    __slots__ = ("name", "_generator", "_target", "_started")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str | None = None):
@@ -348,12 +379,11 @@ class Process(Event):
             if event._ok:
                 next_event = self._generator.send(event._value)
             else:
-                event.defused()
-                exc = event._value
-                if isinstance(exc, Interrupt) and event._defused:
-                    next_event = self._generator.throw(exc)
-                else:
-                    next_event = self._generator.throw(exc)
+                # Mark the failure as handled before delivery: whether
+                # it is an Interrupt or an ordinary exception, reaching
+                # the waiting process *is* its handling.
+                event._defused = True
+                next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             env._active = None
             self.succeed(stop.value)
@@ -387,8 +417,17 @@ class Environment:
         self._active: Process | None = None
         #: Profiling counters (cheap; read by the run instrumentation).
         self.events_processed = 0
-        self.events_scheduled = 0
         self.heap_peak = 0
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events placed on the calendar.
+
+        Every enqueue consumes one tie-breaking sequence number, so the
+        sequence counter *is* the schedule counter -- no separate
+        increment in the hot path.
+        """
+        return self._seq
 
     # -- clock ------------------------------------------------------------
 
@@ -435,13 +474,21 @@ class Environment:
 
         ``priority`` 0 is used for interrupts so that they pre-empt
         same-time normal events.
+
+        Heap-peak tracking is *lazy*: the calendar only grows between
+        pops, so every local maximum of the heap size is visible at the
+        start of the next :meth:`step` (or at the end of :meth:`run`) --
+        sampling there is exact and keeps this, the single hottest
+        function in the kernel, branch-free.
         """
-        self._seq += 1
-        self.events_scheduled += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, event))
-        if len(self._queue) > self.heap_peak:
-            self.heap_peak = len(self._queue)
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
+
+    def _sample_heap_peak(self) -> None:
+        size = len(self._queue)
+        if size > self.heap_peak:
+            self.heap_peak = size
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -449,9 +496,13 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise StopSimulation("event calendar is empty")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        size = len(queue)
+        if size > self.heap_peak:
+            self.heap_peak = size
+        when, _priority, _seq, event = _heappop(queue)
         self._now = when
         self.events_processed += 1
         callbacks = event.callbacks
@@ -487,13 +538,17 @@ class Environment:
                 raise SimulationError(
                     f"until={horizon} lies in the past (now={self._now})")
         try:
-            while self._queue:
-                if stop_event is None and until is not None:
-                    if self._queue[0][0] > horizon:
-                        self._now = horizon
-                        return None
-                self.step()
+            step = self.step
+            queue = self._queue
+            bounded = stop_event is None and until is not None
+            while queue:
+                if bounded and queue[0][0] > horizon:
+                    self._now = horizon
+                    self._sample_heap_peak()
+                    return None
+                step()
         except StopSimulation as stop:
+            self._sample_heap_peak()
             if stop_event is not None and stop.args and \
                     stop.args[0] is stop_event:
                 if not stop_event._ok:

@@ -1,0 +1,15 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test directory.
+
+    The CLI enables the on-disk cache by default; without this fixture
+    test runs would read and write ``~/.cache/hybriddb/results``,
+    coupling test outcomes to earlier runs on the same machine.
+    """
+    monkeypatch.setenv("HYBRIDDB_CACHE_DIR",
+                       str(tmp_path / "hybriddb-cache"))

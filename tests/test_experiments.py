@@ -185,6 +185,31 @@ def test_cli_runs_figure(capsys):
     out = capsys.readouterr().out
     assert "Figure 4.1" in out
     assert "supports" in out
+    assert "cache:" in out  # hit/miss summary shown by default
+
+
+def test_cli_runs_figure_with_workers_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["--figure", "4.1", "--scale", "0.05", "--workers", "2",
+            "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "2 worker(s)" in first
+    assert "miss(es)" in first
+    # Second run is satisfied entirely from the cache.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "0 miss(es)" in second
+
+
+def test_cli_no_cache_flag_suppresses_cache_summary(capsys):
+    assert main(["--figure", "4.1", "--scale", "0.05", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache:" not in out
+
+
+def test_cli_rejects_negative_workers(capsys):
+    assert main(["--figure", "4.1", "--workers", "-1"]) == 2
 
 
 def test_cli_csv_export(tmp_path, capsys):

@@ -421,3 +421,102 @@ def test_nested_process_return_values():
         return value * 2
 
     assert env.run(until=env.process(outer(env))) == 30
+
+
+# ---------------------------------------------------------------------------
+# Failure delivery through Process._resume (regression: the resume path
+# once special-cased defused Interrupts through a branch whose two arms
+# were identical -- both interrupt and plain failures must be *thrown*
+# into the generator and marked defused by the delivery itself).
+# ---------------------------------------------------------------------------
+
+def test_interrupt_failure_delivered_as_throw():
+    env = Environment()
+    caught = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt as interrupt:
+            caught.append(interrupt.cause)
+            yield env.timeout(1)
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt("abort-reason")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert caught == ["abort-reason"]
+    # The abandoned timeout(10) still fires (for no waiters) at t=10.
+    assert env.now == 10.0
+
+
+def test_non_interrupt_failure_delivered_as_throw():
+    env = Environment()
+    caught = []
+
+    def waiter(env, event):
+        try:
+            yield event
+        except RuntimeError as error:
+            caught.append(str(error))
+            yield env.timeout(1)
+
+    event = env.event()
+    env.process(waiter(env, event))
+
+    def failer(env, event):
+        yield env.timeout(2)
+        event.fail(RuntimeError("boom"))
+
+    env.process(failer(env, event))
+    env.run()
+    assert caught == ["boom"]
+    assert env.now == 3.0
+
+
+def test_unhandled_non_interrupt_failure_still_crashes_waiter():
+    env = Environment()
+
+    def waiter(env, event):
+        yield event  # no try/except: the failure propagates
+
+    event = env.event()
+    waiting = env.process(waiter(env, event))
+
+    def failer(env, event):
+        yield env.timeout(1)
+        event.fail(ValueError("unhandled"))
+
+    env.process(failer(env, event))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+    assert not waiting.is_alive
+
+
+def test_events_scheduled_counter_tracks_enqueues():
+    env = Environment()
+
+    def proc(env):
+        for _ in range(3):
+            yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+    # init event + 3 timeouts + process-completion event.
+    assert env.events_scheduled == 5
+    assert env.events_processed >= 4
+
+
+def test_heap_peak_reflects_calendar_maximum():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    for _ in range(10):
+        env.process(proc(env))
+    env.run()
+    assert env.heap_peak >= 10
