@@ -102,13 +102,22 @@ class ResultCache:
     # -- keying -------------------------------------------------------------
 
     @staticmethod
-    def key_for(config: SystemConfig, strategy_key: str) -> str:
-        """Stable content hash of one (configuration, strategy) job."""
+    def key_for(config: SystemConfig, strategy_key: str,
+                fault_plan: Any = None) -> str:
+        """Stable content hash of one (configuration, strategy) job.
+
+        A non-empty fault plan (schedule *and* retry policy) changes the
+        simulation's output, so it joins the payload; ``None`` and the
+        empty plan produce bit-identical runs and deliberately share the
+        plain key, keeping every pre-existing cache entry valid.
+        """
         payload = {
             "version": CACHE_VERSION,
             "strategy": strategy_key,
             "config": _canonical(config),
         }
+        if fault_plan is not None and not fault_plan.is_empty:
+            payload["faults"] = _canonical(fault_plan)
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True,
                        separators=(",", ":")).encode("utf-8"))

@@ -12,6 +12,8 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --list
     hybriddb-experiment --run queue-length --rate 35 \\
         --telemetry run.csv --trace-out run.jsonl
+    hybriddb-experiment --run static-optimal --fault-plan central-outage
+    hybriddb-experiment --availability --scale 0.5
 """
 
 from __future__ import annotations
@@ -74,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", metavar="PATH",
                         help="with --run: write the event trace as "
                              "JSON Lines")
+    parser.add_argument("--fault-plan", metavar="SPEC",
+                        help="with --run: inject faults; SPEC is a canned "
+                             "plan name (central-outage, lossy-links, "
+                             "site-crash, chaos) or a FaultPlan JSON file")
+    parser.add_argument("--availability", action="store_true",
+                        help="compare the reference strategies with and "
+                             "without the standard central outage "
+                             "(or the --fault-plan scenario)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="simulated-horizon scale factor (default 1.0; "
                              "0.3 for a quick look)")
@@ -113,14 +123,51 @@ def _run_figure(figure_id: str, settings: RunSettings,
         print(f"[{cache.stats()}]")
 
 
+def _resolve_plan(args, settings: RunSettings):
+    """Turn ``--fault-plan`` into a FaultPlan (None when not given)."""
+    if not args.fault_plan:
+        return None
+    from ..sim.faults import resolve_fault_plan
+
+    return resolve_fault_plan(args.fault_plan,
+                              warmup_time=settings.warmup_time *
+                              settings.scale,
+                              measure_time=settings.measure_time *
+                              settings.scale)
+
+
+def _print_availability(result) -> None:
+    print("Fault handling")
+    print(f"  availability        {result.availability:.4f}")
+    print(f"  timed out           {result.txns_timed_out}")
+    print(f"  failed over (A)     {result.txns_failed_over}")
+    print(f"  failed (B)          {result.txns_failed}")
+    print(f"  cancelled @central  {result.txns_cancelled_central}")
+    print(f"  fallback routings   {result.fallback_routings}")
+    print(f"  arrivals rejected   {result.arrivals_rejected}")
+    print(f"  messages dropped    {result.messages_dropped}, "
+          f"retransmitted {result.messages_retransmitted}, "
+          f"duplicates {result.duplicate_messages}")
+    for report in result.fault_episodes:
+        recover = ("not within run" if report.time_to_recover is None
+                   else f"recovered in {report.time_to_recover:.1f}s")
+        target = "" if report.site is None else f" site {report.site}"
+        print(f"  {report.kind}{target} "
+              f"[{report.start:g}s..{report.end:g}s]: throughput "
+              f"{report.baseline_throughput:.1f} -> "
+              f"{report.degraded_throughput:.1f} txn/s, {recover}")
+
+
 def _run_single(args, settings: RunSettings) -> int:
     from .export import decomposition_rows
     from .report import sparkline
 
     tracer = Tracer(max_records=200_000) if args.trace_out else None
+    fault_plan = _resolve_plan(args, settings)
     started = time.time()
     result = run_single(args.run, args.rate, comm_delay=args.comm_delay,
-                        settings=settings, tracer=tracer)
+                        settings=settings, tracer=tracer,
+                        fault_plan=fault_plan)
     elapsed = time.time() - started
 
     print(f"{result.strategy} @ rate={result.total_rate:g} txn/s, "
@@ -157,6 +204,9 @@ def _run_single(args, settings: RunSettings) -> int:
         verdict = "OK" if adequate else "SUSPECT (still trending)"
         print(f"  warm-up adequacy: {verdict} [{trend}]")
     print()
+    if fault_plan is not None:
+        _print_availability(result)
+        print()
     print(f"Engine: {result.engine_events} events, "
           f"{result.engine_events_per_sec:,.0f} events/s, "
           f"heap peak {result.engine_heap_peak}")
@@ -212,10 +262,34 @@ def main(argv: list[str] | None = None) -> int:
     if args.run and args.rate <= 0:
         print("error: --rate must be positive", file=sys.stderr)
         return 2
+    if args.fault_plan and not (args.run or args.availability):
+        print("error: --fault-plan requires --run or --availability",
+              file=sys.stderr)
+        return 2
     if args.run:
         code = _run_single(args, settings)
         if not args.figure:
             return code
+    if args.availability:
+        from .availability import run_availability
+
+        started = time.time()
+        comparison = run_availability(
+            total_rate=args.rate, plan=_resolve_plan(args, settings),
+            settings=settings, workers=workers, cache=cache)
+        print("Strategies with and without faults "
+              f"@ rate={comparison.total_rate:g} txn/s")
+        print()
+        print(comparison.to_table())
+        episodes = comparison.episode_summary()
+        if episodes:
+            print("\nEpisodes")
+            print(episodes)
+        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+        if cache is not None:
+            print(f"[{cache.stats()}]")
+        if not args.figure:
+            return 0
     if args.validate:
         _run_validation(settings)
         if not args.figure and not args.scorecard:
@@ -247,7 +321,7 @@ def main(argv: list[str] | None = None) -> int:
             return 0
     if not args.figure:
         print("error: choose --figure, --run, --validate, --scorecard, "
-              "--sensitivity or --list", file=sys.stderr)
+              "--sensitivity, --availability or --list", file=sys.stderr)
         return 2
     if args.figure == "all":
         if args.csv:

@@ -171,6 +171,31 @@ def telemetry_to_json(result: "SimulationResult") -> str:
         "warmup_adequate": result.warmup_adequate,
         "warmup_trend": result.warmup_trend,
         "decomposition": result.response_time_decomposition,
+        "availability": {
+            "ratio": result.availability,
+            "txns_timed_out": result.txns_timed_out,
+            "txns_failed_over": result.txns_failed_over,
+            "txns_failed": result.txns_failed,
+            "txns_cancelled_central": result.txns_cancelled_central,
+            "fallback_routings": result.fallback_routings,
+            "arrivals_rejected": result.arrivals_rejected,
+            "messages_dropped": result.messages_dropped,
+            "messages_retransmitted": result.messages_retransmitted,
+            "duplicate_messages": result.duplicate_messages,
+            "fault_events": result.fault_events,
+            "episodes": [
+                {
+                    "kind": report.kind,
+                    "site": report.site,
+                    "start": report.start,
+                    "end": report.end,
+                    "baseline_throughput": report.baseline_throughput,
+                    "degraded_throughput": report.degraded_throughput,
+                    "time_to_recover": report.time_to_recover,
+                }
+                for report in result.fault_episodes
+            ],
+        },
         "engine": {
             "events": result.engine_events,
             "events_per_sec": result.engine_events_per_sec,

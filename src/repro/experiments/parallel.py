@@ -73,12 +73,17 @@ class JobSpec:
 
     strategy: str | Callable[[SystemConfig], Any]
     config: SystemConfig
+    #: Optional fault-injection schedule (``repro.sim.faults.FaultPlan``).
+    #: ``None`` -- the default for every pre-existing call site -- keeps
+    #: the job and its cache key exactly as before.
+    fault_plan: Any = None
 
     def cache_key(self) -> str | None:
         identity = strategy_cache_key(self.strategy)
         if identity is None:
             return None
-        return ResultCache.key_for(self.config, identity)
+        return ResultCache.key_for(self.config, identity,
+                                   fault_plan=self.fault_plan)
 
 
 def _normalize(result: SimulationResult) -> SimulationResult:
@@ -95,7 +100,8 @@ def execute_job(spec: JobSpec) -> SimulationResult:
     builder = (STRATEGIES[spec.strategy]
                if isinstance(spec.strategy, str) else spec.strategy)
     router_factory = builder(spec.config)
-    return _normalize(HybridSystem(spec.config, router_factory).run())
+    return _normalize(HybridSystem(spec.config, router_factory,
+                                   fault_plan=spec.fault_plan).run())
 
 
 def _is_picklable(spec: JobSpec) -> bool:

@@ -147,12 +147,14 @@ def _check_strategy(strategy: str | StrategyBuilder) -> None:
 
 def _point_specs(strategy: str | StrategyBuilder, total_rate: float,
                  comm_delay: float, settings: RunSettings,
-                 config_overrides: dict) -> list[JobSpec]:
+                 config_overrides: dict,
+                 fault_plan=None) -> list[JobSpec]:
     """One job per replication; replication ``r`` seeds ``base_seed + r``."""
     return [
         JobSpec(strategy=strategy, config=settings.config_for(
             total_rate, comm_delay,
-            seed=settings.base_seed + replication, **config_overrides))
+            seed=settings.base_seed + replication, **config_overrides),
+            fault_plan=fault_plan)
         for replication in range(settings.replications)
     ]
 
@@ -181,25 +183,28 @@ def run_point(strategy: str | StrategyBuilder, total_rate: float,
               settings: RunSettings | None = None,
               workers: int | None = 1,
               cache: ResultCache | None = None,
+              fault_plan=None,
               **config_overrides) -> CurvePoint:
     """Run one strategy at one arrival rate (averaging replications).
 
     ``workers`` > 1 fans the replications out over a process pool;
     ``cache`` reuses previously simulated results.  Both leave the
-    returned point bit-identical to a serial, uncached run.
+    returned point bit-identical to a serial, uncached run.  Passing a
+    ``fault_plan`` injects its episodes into every replication.
     """
     settings = settings or RunSettings()
     _check_strategy(strategy)
     runner = ParallelRunner(workers=workers, cache=cache)
     specs = _point_specs(strategy, total_rate, comm_delay, settings,
-                         config_overrides)
+                         config_overrides, fault_plan=fault_plan)
     return _assemble_point(total_rate, runner.run_jobs(specs))
 
 
 def run_single(strategy: str | StrategyBuilder, total_rate: float,
                comm_delay: float = 0.2,
                settings: RunSettings | None = None,
-               tracer=None, **config_overrides) -> SimulationResult:
+               tracer=None, fault_plan=None,
+               **config_overrides) -> SimulationResult:
     """Run one strategy at one rate, once, returning the raw result.
 
     Unlike :func:`run_point` this performs a single replication and
@@ -207,14 +212,15 @@ def run_single(strategy: str | StrategyBuilder, total_rate: float,
     response-time decomposition, windowed telemetry and engine profile
     -- rather than cross-replication averages.  Pass a
     :class:`~repro.sim.trace.Tracer` to capture the event log for JSONL
-    export.
+    export, and a :class:`~repro.sim.faults.FaultPlan` to inject faults.
     """
     settings = settings or RunSettings()
     builder = STRATEGIES[strategy] if isinstance(strategy, str) else strategy
     config = settings.config_for(total_rate, comm_delay,
                                  seed=settings.base_seed, **config_overrides)
     router_factory = builder(config)
-    return HybridSystem(config, router_factory, tracer=tracer).run()
+    return HybridSystem(config, router_factory, tracer=tracer,
+                        fault_plan=fault_plan).run()
 
 
 def run_curve(strategy: str | StrategyBuilder, rates: list[float],

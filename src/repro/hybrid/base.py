@@ -42,10 +42,14 @@ class SiteBase:
         self.name = name
         self.cpu = Resource(env, capacity=1)
         self.locks = LockManager(env, name=name)
+        #: Fault injection: CPU service-time multiplier (1.0 = healthy)
+        #: and crash flag (a down site rejects new arrivals).
+        self.service_scale = 1.0
+        self.down = False
 
     def service_time(self, instructions: float) -> float:
         """Deterministic CPU time for an instruction pathlength."""
-        return instructions / (self.mips * 1_000_000.0)
+        return instructions * self.service_scale / (self.mips * 1_000_000.0)
 
     def cpu_burst(self, instructions: float,
                   txn: "Transaction | None" = None):

@@ -27,13 +27,14 @@ from ..db.locks import DeadlockError, LockMode
 from ..db.replica import ReplicaStore
 from ..db.transaction import Placement, Transaction
 from ..db.workload import LockSpacePartition
-from ..sim.engine import Environment, Event
-from ..sim.network import Link, Message
+from ..sim.engine import Environment, Event, Interrupt, Process
+from ..sim.network import Link, Message, ReliableEndpoint
 from ..sim.spans import PHASE_AUTH, PHASE_COMM
 from .base import SiteBase
 from .protocol import (
     AuthReply,
     AuthRequest,
+    CancelAck,
     CentralSnapshot,
     CommitOrder,
     ReleaseOrder,
@@ -42,6 +43,8 @@ from .protocol import (
     RemoteLockReply,
     RemoteLockRequest,
     RemoteRelease,
+    ShipmentCancel,
+    TxnResponse,
     TxnShipment,
     UpdateAck,
     UpdatePropagation,
@@ -57,10 +60,20 @@ __all__ = ["CentralSite"]
 
 @dataclass
 class _PendingAuth:
-    """Bookkeeping for one in-progress authentication round."""
+    """Bookkeeping for one in-progress authentication round.
+
+    ``cancelled`` marks a round whose transaction was killed by a
+    ShipmentCancel while awaiting replies.  The round stays registered
+    so late replies can be matched: each master's locks are released
+    only *after* its reply arrives (a master grants before replying, so
+    a release sent any earlier could overtake the grant and leak the
+    locks forever).
+    """
 
     event: Event
     expected: int
+    txn_id: int = 0
+    cancelled: bool = False
     replies: list[AuthReply] = field(default_factory=list)
 
 
@@ -87,6 +100,13 @@ class CentralSite(SiteBase):
         #: txn_id -> home site (for invalidation notices).
         self._remote_holders: dict[int, int] = {}
 
+        # Fault tolerance (populated only when a fault plan is active).
+        self.channels: dict[int, ReliableEndpoint] = {}
+        #: Execution processes of admitted transactions (cancel targets).
+        self._processes: dict[int, Process] = {}
+        #: Transactions whose response has been sent (cancel -> completed).
+        self._finished: set[int] = set()
+
     # -- wiring ---------------------------------------------------------------
 
     def attach_links(self, to_sites: list[Link],
@@ -96,6 +116,11 @@ class CentralSite(SiteBase):
         for site_id, link in enumerate(from_sites):
             self.env.process(self._dispatch(site_id, link),
                              name=f"central:dispatch-{site_id}")
+
+    def enable_reliability(self, site_id: int,
+                           channel: ReliableEndpoint) -> None:
+        """Route central->site traffic through a reliable channel."""
+        self.channels[site_id] = channel
 
     def snapshot(self) -> CentralSnapshot:
         """Sample the observable central state (piggybacked on messages)."""
@@ -108,8 +133,12 @@ class CentralSite(SiteBase):
 
     def _send(self, site: int, kind: str, payload) -> None:
         self.metrics.record_message(to_central=False, kind=kind, site=site)
-        self.to_sites[site].send(Message(kind=kind, source="central",
-                                         payload=payload))
+        message = Message(kind=kind, source="central", payload=payload)
+        channel = self.channels.get(site)
+        if channel is not None:
+            channel.send(message)
+        else:
+            self.to_sites[site].send(message)
 
     # -- inbound message handling ------------------------------------------------
 
@@ -122,27 +151,60 @@ class CentralSite(SiteBase):
         """
         while True:
             message = yield link.mailbox.get()
-            payload = message.payload
-            if isinstance(payload, TxnShipment):
-                self.admit(payload.txn)
-            elif isinstance(payload, UpdatePropagation):
-                yield from self._apply_updates(payload)
-            elif isinstance(payload, AuthReply):
-                self._collect_auth_reply(payload)
-            elif isinstance(payload, RemoteLockRequest):
-                self.env.process(self._handle_remote_lock(payload),
-                                 name=f"central:remote-lock-{site_id}")
-            elif isinstance(payload, RemoteCommit):
-                self._handle_remote_commit(payload)
-            elif isinstance(payload, RemoteRelease):
-                self._handle_remote_release(payload)
+            channel = self.channels.get(site_id)
+            if channel is not None:
+                for delivered in channel.pump(message):
+                    yield from self._handle_site_message(site_id,
+                                                         delivered)
             else:
-                raise TypeError(f"unexpected payload {payload!r}")
+                yield from self._handle_site_message(site_id, message)
+
+    def _handle_site_message(self, site_id: int, message: Message):
+        payload = message.payload
+        if isinstance(payload, TxnShipment):
+            self.admit(payload.txn)
+        elif isinstance(payload, UpdatePropagation):
+            yield from self._apply_updates(payload)
+        elif isinstance(payload, AuthReply):
+            self._collect_auth_reply(payload)
+        elif isinstance(payload, ShipmentCancel):
+            self._handle_cancel(payload)
+        elif isinstance(payload, RemoteLockRequest):
+            self.env.process(self._handle_remote_lock(payload),
+                             name=f"central:remote-lock-{site_id}")
+        elif isinstance(payload, RemoteCommit):
+            self._handle_remote_commit(payload)
+        elif isinstance(payload, RemoteRelease):
+            self._handle_remote_release(payload)
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")
 
     def admit(self, txn: Transaction) -> None:
         """Start executing a shipped class A or class B transaction."""
-        self.env.process(self._run_central(txn),
-                         name=f"txn-{txn.txn_id}@central")
+        self._processes[txn.txn_id] = self.env.process(
+            self._run_central(txn), name=f"txn-{txn.txn_id}@central")
+
+    def _handle_cancel(self, cancel: ShipmentCancel) -> None:
+        """Settle a shipment the home site has given up on.
+
+        The reliable channel's FIFO guarantee means the shipment itself
+        was processed before this cancel, so the transaction's fate is
+        decidable: either its response is already on the wire
+        (``completed`` -- it precedes this ack on the same FIFO channel)
+        or its execution is interrupted here and now (``killed`` -- it
+        will never commit, so the home site may re-run it safely).
+        """
+        txn_id = cancel.txn_id
+        if txn_id in self._finished:
+            outcome = "completed"
+        else:
+            outcome = "killed"
+            process = self._processes.pop(txn_id, None)
+            if process is not None and process.is_alive:
+                process.interrupt("shipment-cancelled")
+        self._send(cancel.site, "cancel-ack",
+                   CancelAck(txn_id=txn_id, outcome=outcome,
+                             snapshot=self.snapshot()))
 
     def _apply_updates(self, propagation: UpdatePropagation):
         """Apply an asynchronous update batch (Section 2).
@@ -217,10 +279,25 @@ class CentralSite(SiteBase):
     def _collect_auth_reply(self, reply: AuthReply) -> None:
         pending = self._pending_auth.get(reply.auth_id)
         if pending is None:
+            if self.channels:
+                # Cancelled rounds are deregistered once fully replied;
+                # anything later is a harmless straggler.
+                return
             raise RuntimeError(f"unknown auth round {reply.auth_id}")
         pending.replies.append(reply)
         if len(pending.replies) == pending.expected:
             del self._pending_auth[reply.auth_id]
+            if pending.cancelled:
+                # The transaction was killed mid-round.  Every master
+                # that granted has (by FIFO) done so before replying, so
+                # releasing on the completed round can never overtake a
+                # grant.
+                for late in pending.replies:
+                    if late.granted:
+                        self._send(late.site, "release", ReleaseOrder(
+                            txn_id=pending.txn_id,
+                            snapshot=self.snapshot()))
+                return
             pending.event.succeed(pending.replies)
 
     # -- central transaction execution ----------------------------------------------
@@ -250,8 +327,20 @@ class CentralSite(SiteBase):
                 committed = yield from self._authenticate_and_commit(txn)
                 if committed:
                     return
+        except Interrupt:
+            # ShipmentCancel: the home site gave up on this transaction.
+            # Release everything held here (release_all also cancels any
+            # queued lock request) and stop without completing -- the
+            # cancel handshake guarantees nobody still expects a
+            # response.  Master-site locks, if an authentication round
+            # was in flight, are released as its replies arrive (see
+            # _collect_auth_reply / _authenticate_and_commit).
+            self.locks.release_all(txn.txn_id)
+            txn.locked_entities.clear()
+            self.metrics.record_cancelled(txn)
         finally:
             self.active.pop(txn.txn_id, None)
+            self._processes.pop(txn.txn_id, None)
 
     def _execute_calls(self, txn: Transaction, first_run: bool):
         config = self.config
@@ -302,8 +391,9 @@ class CentralSite(SiteBase):
         if masters:
             auth_id = next(self._auth_ids)
             done = Event(self.env)
-            self._pending_auth[auth_id] = _PendingAuth(
-                event=done, expected=len(masters))
+            pending = _PendingAuth(
+                event=done, expected=len(masters), txn_id=txn.txn_id)
+            self._pending_auth[auth_id] = pending
             for site, references in masters.items():
                 self._send(site, "auth-request", AuthRequest(
                     auth_id=auth_id, txn_id=txn.txn_id,
@@ -312,7 +402,16 @@ class CentralSite(SiteBase):
             # Both message legs plus the master-site checks count as the
             # authentication phase of this transaction's timeline.
             txn.spans.enter(PHASE_AUTH, self.env.now)
-            replies = yield done
+            try:
+                replies = yield done
+            except Interrupt:
+                # Cancelled mid-round.  The round stays registered,
+                # poisoned, so master grants already in flight are
+                # released once every reply has arrived (releasing
+                # earlier could overtake a not-yet-processed grant).
+                pending.cancelled = True
+                txn.spans.exit(self.env.now)
+                raise
             txn.spans.exit(self.env.now)
             if not all(reply.granted for reply in replies):
                 # Some master answered NAK: release any granted locks and
@@ -330,7 +429,13 @@ class CentralSite(SiteBase):
             self._release_masters(txn, masters)
             self._abort_invalidated(txn)
             return False
-        yield from self.cpu_burst(config.instr_commit, txn)
+        try:
+            yield from self.cpu_burst(config.instr_commit, txn)
+        except Interrupt:
+            # Cancelled before the commit message: undo the granted
+            # authentications, then let _run_central clean up the rest.
+            self._release_masters(txn, masters)
+            raise
         if txn.marked_for_abort:
             # Invalidated during commit processing, before the commit
             # message is sent -- still safe to re-execute.
@@ -351,6 +456,17 @@ class CentralSite(SiteBase):
         # The transaction no longer occupies the central site; the output
         # message travels back to the user's region.
         self.active.pop(txn.txn_id, None)
+        if self.channels:
+            # Reliability on: the response is a real message on the
+            # site's channel, so it survives outages via retransmission
+            # and (being FIFO-ordered with cancel-acks) is definitive.
+            # Past this point the transaction can no longer be killed.
+            self._finished.add(txn.txn_id)
+            self._processes.pop(txn.txn_id, None)
+            txn.spans.enter(PHASE_COMM, self.env.now)
+            self._send(txn.home_site, "txn-response",
+                       TxnResponse(txn=txn, snapshot=self.snapshot()))
+            return True
         txn.spans.enter(PHASE_COMM, self.env.now)
         yield self.env.timeout(config.comm_delay)
         txn.complete(self.env.now)

@@ -89,10 +89,26 @@ class SystemConfig:
     seed: int = 20_260_705
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject physically meaningless parameterisations.
+
+        Raises :class:`ValueError` on non-positive MIPS ratings, negative
+        communication delay, ``update_batching < 1``,
+        ``update_flush_interval <= 0`` and the remaining sanity bounds
+        (mirroring ``RunSettings``'s fail-fast validation).  Called from
+        ``__post_init__`` so no invalid instance can exist, but callable
+        directly on configurations rebuilt via ``dataclasses.replace``
+        pipelines or deserialisation.
+        """
         if self.central_mips <= 0 or self.local_mips <= 0:
-            raise ValueError("MIPS ratings must be positive")
+            raise ValueError(
+                f"MIPS ratings must be positive (central "
+                f"{self.central_mips}, local {self.local_mips})")
         if self.comm_delay < 0:
-            raise ValueError("negative communications delay")
+            raise ValueError(
+                f"negative communications delay {self.comm_delay}")
         for name in ("instr_per_db_call", "instr_txn_overhead",
                      "instr_commit", "instr_update_apply",
                      "instr_auth_master", "instr_auth_central"):
@@ -101,9 +117,12 @@ class SystemConfig:
         if self.io_initial < 0 or self.io_per_db_call < 0:
             raise ValueError("negative I/O time")
         if self.update_batching < 1:
-            raise ValueError("update_batching must be >= 1")
+            raise ValueError(
+                f"update_batching must be >= 1, got {self.update_batching}")
         if self.update_flush_interval <= 0:
-            raise ValueError("update_flush_interval must be positive")
+            raise ValueError(
+                f"update_flush_interval must be positive, got "
+                f"{self.update_flush_interval}")
         if self.class_b_mode not in ("central", "remote-call"):
             raise ValueError(
                 f"class_b_mode must be 'central' or 'remote-call', got "

@@ -22,17 +22,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..db.locks import DeadlockError, LockMode
+from ..db.locks import DeadlockError
 from ..db.replica import ReplicaStore
 from ..db.transaction import Placement, Reference, Transaction, \
     TransactionClass
 from ..sim.engine import Environment, Event
-from ..sim.network import Link, Message
+from ..sim.network import Link, Message, ReliableEndpoint
 from ..sim.spans import PHASE_COMM
 from .base import SiteBase
 from .protocol import (
     AuthReply,
     AuthRequest,
+    CancelAck,
     CentralSnapshot,
     CommitOrder,
     ReleaseOrder,
@@ -41,6 +42,8 @@ from .protocol import (
     RemoteLockReply,
     RemoteLockRequest,
     RemoteRelease,
+    ShipmentCancel,
+    TxnResponse,
     TxnShipment,
     UpdateAck,
     UpdatePropagation,
@@ -48,6 +51,7 @@ from .protocol import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.router import Router
+    from ..sim.faults import RetryPolicy
     from .config import SystemConfig
     from .metrics import MetricsCollector
     from .system import HybridSystem
@@ -86,6 +90,17 @@ class LocalSite(SiteBase):
         self._remote_call_ids = 0
         self._pending_remote_calls: dict[int, "Event"] = {}
 
+        # Fault tolerance (populated only when a fault plan is active;
+        # everything below stays inert otherwise).
+        self.channel: ReliableEndpoint | None = None
+        self.retry: "RetryPolicy | None" = None
+        #: Whether repeated shipment timeouts have marked central suspect.
+        self.central_suspected = False
+        #: Shipped transactions awaiting their response: txn_id -> txn.
+        self._pending_ship: dict[int, Transaction] = {}
+        #: In-progress ShipmentCancel handshakes: txn_id -> Event.
+        self._pending_cancels: dict[int, "Event"] = {}
+
     # -- wiring --------------------------------------------------------------
 
     def attach_links(self, to_central: Link, from_central: Link) -> None:
@@ -96,10 +111,21 @@ class LocalSite(SiteBase):
             self.env.process(self._flush_loop(),
                              name=f"{self.name}:flush")
 
+    def enable_reliability(self, channel: ReliableEndpoint,
+                           retry: "RetryPolicy") -> None:
+        """Route site->central traffic through a reliable channel."""
+        self.channel = channel
+        self.retry = retry
+
     # -- arrival handling --------------------------------------------------------
 
     def submit(self, txn: Transaction) -> None:
         """Entry point for the arrival process."""
+        if self.down:
+            # A crashed site accepts no work; the arrival is turned away
+            # (and counted against availability).
+            self.metrics.record_rejected_arrival(txn)
+            return
         if txn.txn_class is TransactionClass.B:
             if self.config.class_b_mode == "remote-call":
                 txn.route(Placement.DISTRIBUTED)
@@ -111,6 +137,17 @@ class LocalSite(SiteBase):
                 self.metrics.record_routing(txn)
                 self._ship(txn)
             return
+        fallback = self._fallback_reason()
+        if fallback is not None:
+            # Failure-aware routing: with central suspected (or its state
+            # aged beyond trust) class A work stays home without even
+            # consulting the strategy.
+            txn.route(Placement.LOCAL)
+            self.metrics.record_fallback_routing(txn, fallback)
+            self.metrics.record_routing(txn)
+            self.env.process(self._run_local(txn),
+                             name=f"txn-{txn.txn_id}@{self.name}")
+            return
         decision = self.router.decide(txn, self.observe())
         txn.route(decision)
         self.metrics.record_routing(txn)
@@ -120,6 +157,24 @@ class LocalSite(SiteBase):
         else:
             self.shipped_in_flight += 1
             self._ship(txn)
+
+    def _fallback_reason(self) -> str | None:
+        """Why class A must stay local, or ``None`` when central is fine.
+
+        Only meaningful under a fault plan (``retry`` is ``None``
+        otherwise).  The bootstrap state -- no central message heard yet,
+        snapshot time ``-inf`` -- is *not* stale: the paper's optimistic
+        start behaviour is preserved.
+        """
+        if self.retry is None:
+            return None
+        if self.central_suspected:
+            return "central-suspected"
+        snapshot_time = self.central_snapshot.time
+        if snapshot_time > float("-inf") and \
+                self.env.now - snapshot_time > self.retry.snapshot_max_age:
+            return "snapshot-stale"
+        return None
 
     def observe(self):
         """Build the routing observation (exact local, delayed central)."""
@@ -137,17 +192,95 @@ class LocalSite(SiteBase):
             central=central,
         )
 
+    def _send_central(self, kind: str, payload) -> None:
+        """Send one site->central message (reliably under a fault plan)."""
+        self.metrics.record_message(to_central=True, kind=kind,
+                                    site=self.site_id)
+        message = Message(kind=kind, source=self.site_id, payload=payload)
+        if self.channel is not None:
+            self.channel.send(message)
+        else:
+            self.to_central.send(message)
+
     def _ship(self, txn: Transaction) -> None:
         txn.spans.enter(PHASE_COMM, self.env.now)
-        self.metrics.record_message(to_central=True, kind="txn",
-                                    site=self.site_id)
-        self.to_central.send(Message(kind="txn", source=self.site_id,
-                                     payload=TxnShipment(txn)))
+        self._send_central("txn", TxnShipment(txn))
+        if self.channel is not None:
+            self._pending_ship[txn.txn_id] = txn
+            self.env.process(self._ship_watchdog(txn),
+                             name=f"txn-{txn.txn_id}@{self.name}:watchdog")
 
     def on_shipped_response(self, txn: Transaction) -> None:
         """The central site delivered the response for a shipped class A."""
         self.shipped_in_flight -= 1
         self.router.observe_completion(txn)
+
+    # -- shipment supervision (active only under a fault plan) ---------------
+
+    def _ship_watchdog(self, txn: Transaction):
+        """Bound the transaction-level wait for a shipment's response.
+
+        The reliable channel already retries individual messages forever;
+        this watchdog is the *bounded* retry budget the protocol puts on
+        the whole request/response exchange.  When the budget is
+        exhausted the site suspects the central complex and settles the
+        transaction's fate with a cancel handshake: because the channel
+        is FIFO and exactly-once, the cancel is processed strictly after
+        the shipment, so central's answer ("killed" or "completed") is
+        definitive and the transaction can never run twice.
+        """
+        retry = self.retry
+        delay = retry.shipment_timeout
+        for _attempt in range(retry.shipment_attempts):
+            yield self.env.timeout(delay)
+            if txn.txn_id not in self._pending_ship:
+                return  # response arrived
+            delay *= retry.backoff
+        self.metrics.record_timeout(txn)
+        self._suspect_central()
+        outcome = yield from self._cancel_shipment(txn)
+        if txn.txn_id not in self._pending_ship:
+            return  # response raced the cancel and won
+        if outcome != "killed":
+            return  # "completed": the response is on the wire
+        del self._pending_ship[txn.txn_id]
+        if txn.txn_class is TransactionClass.A:
+            # Fail over: re-run the class A transaction at home.
+            self.shipped_in_flight -= 1
+            txn.route(Placement.LOCAL)
+            self.metrics.record_failover(txn)
+            self.env.process(self._run_local(txn),
+                             name=f"txn-{txn.txn_id}@{self.name}:failover")
+        else:
+            # Class B can only run centrally; the transaction fails.
+            self.metrics.record_failure(txn, cause="shipment-cancelled")
+
+    def _cancel_shipment(self, txn: Transaction):
+        """ShipmentCancel round trip; returns central's verdict."""
+        done = Event(self.env)
+        self._pending_cancels[txn.txn_id] = done
+        self._send_central("cancel",
+                           ShipmentCancel(txn_id=txn.txn_id,
+                                          site=self.site_id))
+        ack: CancelAck = yield done
+        return ack.outcome
+
+    def _suspect_central(self) -> None:
+        """Mark central suspect and age out its (now stale) snapshot."""
+        if self.central_suspected:
+            return
+        self.central_suspected = True
+        self.central_snapshot = CentralSnapshot.empty()
+
+    def _complete_shipped(self, response: TxnResponse) -> None:
+        """A TxnResponse closed out a shipped/central transaction."""
+        txn = response.txn
+        if self._pending_ship.pop(txn.txn_id, None) is None:
+            return  # already settled by the cancel handshake
+        txn.complete(self.env.now)
+        self.metrics.record_completion(txn)
+        if txn.placement is Placement.SHIPPED:
+            self.on_shipped_response(txn)
 
     # -- local class A execution ----------------------------------------------
 
@@ -238,11 +371,7 @@ class LocalSite(SiteBase):
             return
         batch = tuple(self._update_buffer)
         self._update_buffer.clear()
-        self.metrics.record_message(to_central=True, kind="update",
-                                    site=self.site_id)
-        self.to_central.send(Message(
-            kind="update", source=self.site_id,
-            payload=UpdatePropagation(self.site_id, batch)))
+        self._send_central("update", UpdatePropagation(self.site_id, batch))
 
     def _flush_loop(self):
         """Periodic flush so partial batches are never stranded."""
@@ -345,10 +474,7 @@ class LocalSite(SiteBase):
         return reply.granted
 
     def _send_remote(self, payload, kind: str) -> None:
-        self.metrics.record_message(to_central=True, kind=kind,
-                                    site=self.site_id)
-        self.to_central.send(Message(kind=kind, source=self.site_id,
-                                     payload=payload))
+        self._send_central(kind, payload)
 
     def _commit_distributed(self, txn: Transaction,
                             remote_locked: set[int]) -> None:
@@ -379,36 +505,52 @@ class LocalSite(SiteBase):
         """Handle central -> site messages in arrival order."""
         while True:
             message = yield self.from_central.mailbox.get()
-            payload = message.payload
-            snapshot = getattr(payload, "snapshot", None)
-            # Section 4.2: by default the sites learn central state only
-            # from authentication-phase traffic, not from the (far more
-            # frequent) asynchronous-update acknowledgements.
-            usable = (not isinstance(payload, UpdateAck) or
-                      self.config.snapshot_on_update_acks)
-            if snapshot is not None and usable and \
-                    snapshot.time > self.central_snapshot.time:
-                self.central_snapshot = snapshot
-            if isinstance(payload, AuthRequest):
-                # Authentication checks consume local CPU; handle in a
-                # child process so unrelated messages are not blocked.
-                self.env.process(self._handle_auth(payload),
-                                 name=f"{self.name}:auth")
-            elif isinstance(payload, CommitOrder):
-                self._handle_commit_order(payload)
-            elif isinstance(payload, ReleaseOrder):
-                self._handle_release_order(payload)
-            elif isinstance(payload, UpdateAck):
-                self._handle_update_ack(payload)
-            elif isinstance(payload, RemoteLockReply):
-                pending = self._pending_remote_calls.pop(payload.call_id)
-                pending.succeed(payload)
-            elif isinstance(payload, RemoteInvalidate):
-                victim = self.active.get(payload.txn_id)
-                if victim is not None and not victim.marked_for_abort:
-                    victim.mark_for_abort("remote-lock-invalidated")
+            if self.channel is not None:
+                # Any frame from central -- app message or bare ack --
+                # proves it is reachable again.
+                self.central_suspected = False
+                for delivered in self.channel.pump(message):
+                    self._on_central_message(delivered)
             else:
-                raise TypeError(f"unexpected payload {payload!r}")
+                self._on_central_message(message)
+
+    def _on_central_message(self, message: Message) -> None:
+        payload = message.payload
+        snapshot = getattr(payload, "snapshot", None)
+        # Section 4.2: by default the sites learn central state only
+        # from authentication-phase traffic, not from the (far more
+        # frequent) asynchronous-update acknowledgements.
+        usable = (not isinstance(payload, UpdateAck) or
+                  self.config.snapshot_on_update_acks)
+        if snapshot is not None and usable and \
+                snapshot.time > self.central_snapshot.time:
+            self.central_snapshot = snapshot
+        if isinstance(payload, AuthRequest):
+            # Authentication checks consume local CPU; handle in a
+            # child process so unrelated messages are not blocked.
+            self.env.process(self._handle_auth(payload),
+                             name=f"{self.name}:auth")
+        elif isinstance(payload, CommitOrder):
+            self._handle_commit_order(payload)
+        elif isinstance(payload, ReleaseOrder):
+            self._handle_release_order(payload)
+        elif isinstance(payload, UpdateAck):
+            self._handle_update_ack(payload)
+        elif isinstance(payload, TxnResponse):
+            self._complete_shipped(payload)
+        elif isinstance(payload, CancelAck):
+            pending = self._pending_cancels.pop(payload.txn_id, None)
+            if pending is not None:
+                pending.succeed(payload)
+        elif isinstance(payload, RemoteLockReply):
+            pending = self._pending_remote_calls.pop(payload.call_id)
+            pending.succeed(payload)
+        elif isinstance(payload, RemoteInvalidate):
+            victim = self.active.get(payload.txn_id)
+            if victim is not None and not victim.marked_for_abort:
+                victim.mark_for_abort("remote-lock-invalidated")
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")
 
     def _handle_auth(self, request: AuthRequest):
         """Authentication phase at the master site (Section 2)."""
@@ -429,14 +571,10 @@ class LocalSite(SiteBase):
                         if entity in victim.locked_entities:
                             victim.locked_entities.remove(entity)
                         aborted.append(victim_id)
-        self.metrics.record_message(to_central=True, kind="auth-reply",
-                                    site=self.site_id)
-        self.to_central.send(Message(
-            kind="auth-reply", source=self.site_id,
-            payload=AuthReply(auth_id=request.auth_id,
-                              txn_id=request.txn_id, site=self.site_id,
-                              granted=granted,
-                              aborted_local_txns=tuple(aborted))))
+        self._send_central("auth-reply", AuthReply(
+            auth_id=request.auth_id, txn_id=request.txn_id,
+            site=self.site_id, granted=granted,
+            aborted_local_txns=tuple(aborted)))
 
     def _handle_commit_order(self, order: CommitOrder) -> None:
         """Apply the central transaction's updates, release its locks."""

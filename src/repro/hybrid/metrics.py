@@ -109,6 +109,33 @@ class SimulationResult:
     engine_heap_peak: int = 0
     wall_clock_seconds: float = 0.0
 
+    # -- robustness / availability extensions (defaulted; all zero when
+    # -- no fault plan is active) ------------------------------------------
+
+    #: Shipped transactions whose response retry budget was exhausted.
+    txns_timed_out: int = 0
+    #: Class A transactions re-run locally after a shipment was cancelled.
+    txns_failed_over: int = 0
+    #: Transactions abandoned outright (cancelled class B shipments).
+    txns_failed: int = 0
+    #: Central-side executions killed by a ShipmentCancel.
+    txns_cancelled_central: int = 0
+    #: Class A arrivals routed locally by failure-awareness (central
+    #: suspected or snapshot stale) without consulting the strategy.
+    fallback_routings: int = 0
+    #: Arrivals rejected because their home site was crashed.
+    arrivals_rejected: int = 0
+    #: Messages lost on degraded links / retransmitted by the reliable
+    #: channels / discarded as duplicates at the receivers.
+    messages_dropped: int = 0
+    messages_retransmitted: int = 0
+    duplicate_messages: int = 0
+    #: Fault-episode transitions (applies + reverts) over the whole run.
+    fault_events: int = 0
+    #: Per-episode availability summaries
+    #: (:class:`~repro.sim.faults.EpisodeReport`).
+    fault_episodes: tuple = ()
+
     @property
     def shipped_fraction(self) -> float:
         """Fraction of measured class A arrivals routed to the central site."""
@@ -122,6 +149,19 @@ class SimulationResult:
         if self.completed == 0:
             return 0.0
         return self.aborts_total / self.completed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measured work requests eventually served.
+
+        Committed transactions over committed plus permanently failed
+        plus rejected-at-arrival.  1.0 for any run without faults.
+        """
+        denominator = (self.completed + self.txns_failed +
+                       self.arrivals_rejected)
+        if denominator == 0:
+            return 1.0
+        return self.completed / denominator
 
     @property
     def decomposition_residual(self) -> float:
@@ -194,6 +234,19 @@ class MetricsCollector:
         self.n_local = TimeWeightedStat()
         self.messages_to_central = 0
         self.messages_to_sites = 0
+
+        # Robustness / availability counters (all stay zero without a
+        # fault plan -- none of the hooks below fire then).
+        self.txns_timed_out = 0
+        self.txns_failed_over = 0
+        self.txns_failed = 0
+        self.txns_cancelled_central = 0
+        self.fallback_routings = 0
+        self.arrivals_rejected = 0
+        self.messages_dropped = 0
+        self.messages_retransmitted = 0
+        self.duplicate_messages = 0
+        self.fault_events = 0
 
     # -- recording hooks (called by the sites) ------------------------------
 
@@ -288,6 +341,83 @@ class MetricsCollector:
         else:
             self.messages_to_sites += 1
 
+    # -- robustness hooks (active only under a fault plan) -------------------
+
+    def record_fault(self, kind: str, phase: str,
+                     site: int | None = None) -> None:
+        """A fault episode was applied or reverted (``phase``).
+
+        Counted unconditionally -- the fault schedule is part of the
+        experiment design, not a measured quantity.
+        """
+        self.tracer.emit(self.env.now, "fault", fault=kind, phase=phase,
+                         site=site)
+        self.fault_events += 1
+
+    def record_timeout(self, txn: Transaction) -> None:
+        """A shipped transaction's response retry budget was exhausted."""
+        self.tracer.emit(self.env.now, "timeout", txn=txn.txn_id,
+                         site=txn.home_site,
+                         txn_class=txn.txn_class.value)
+        if self.measuring:
+            self.txns_timed_out += 1
+
+    def record_failover(self, txn: Transaction) -> None:
+        """A timed-out class A shipment re-runs at its home site."""
+        self.tracer.emit(self.env.now, "failover", txn=txn.txn_id,
+                         site=txn.home_site)
+        if self.measuring:
+            self.txns_failed_over += 1
+
+    def record_failure(self, txn: Transaction, cause: str) -> None:
+        """A transaction was abandoned permanently (never commits)."""
+        self.tracer.emit(self.env.now, "txn-failed", txn=txn.txn_id,
+                         site=txn.home_site, cause=cause)
+        if self.measuring:
+            self.txns_failed += 1
+
+    def record_cancelled(self, txn: Transaction) -> None:
+        """Central killed an execution on a ShipmentCancel."""
+        self.tracer.emit(self.env.now, "cancel", txn=txn.txn_id,
+                         site=txn.home_site)
+        if self.measuring:
+            self.txns_cancelled_central += 1
+
+    def record_fallback_routing(self, txn: Transaction,
+                                reason: str) -> None:
+        """Failure-aware routing kept a class A arrival local."""
+        self.tracer.emit(self.env.now, "fallback", txn=txn.txn_id,
+                         site=txn.home_site, reason=reason)
+        if self.measuring:
+            self.fallback_routings += 1
+
+    def record_rejected_arrival(self, txn: Transaction) -> None:
+        """An arrival hit a crashed site and was turned away."""
+        self.tracer.emit(self.env.now, "rejected", txn=txn.txn_id,
+                         site=txn.home_site)
+        if self.measuring:
+            self.arrivals_rejected += 1
+
+    def record_drop(self, message) -> None:
+        """A degraded link lost a message."""
+        if self.tracer.enabled:
+            self.tracer.emit(self.env.now, "drop", message=message.kind)
+        if self.measuring:
+            self.messages_dropped += 1
+
+    def record_retransmit(self, message) -> None:
+        """A reliable channel resent an unacknowledged message."""
+        if self.tracer.enabled:
+            self.tracer.emit(self.env.now, "retransmit",
+                             message=message.kind)
+        if self.measuring:
+            self.messages_retransmitted += 1
+
+    def record_duplicate(self, message) -> None:
+        """A reliable channel discarded a duplicate delivery."""
+        if self.measuring:
+            self.duplicate_messages += 1
+
     def record_population(self, n_local_total: int, n_central: int) -> None:
         """Sample the per-site population time series (called on changes)."""
         self.n_local.record(self.env.now, n_local_total)
@@ -313,7 +443,8 @@ class MetricsCollector:
                engine_events: int = 0,
                engine_events_per_sec: float = 0.0,
                engine_heap_peak: int = 0,
-               wall_clock_seconds: float = 0.0) -> SimulationResult:
+               wall_clock_seconds: float = 0.0,
+               fault_episodes: tuple = ()) -> SimulationResult:
         """Produce the immutable result for this run."""
         measured_time = max(self.env.now - self.warmup_time, 1e-12)
         mean_local_util = (sum(local_utilizations) /
@@ -370,4 +501,15 @@ class MetricsCollector:
             engine_events_per_sec=engine_events_per_sec,
             engine_heap_peak=engine_heap_peak,
             wall_clock_seconds=wall_clock_seconds,
+            txns_timed_out=self.txns_timed_out,
+            txns_failed_over=self.txns_failed_over,
+            txns_failed=self.txns_failed,
+            txns_cancelled_central=self.txns_cancelled_central,
+            fallback_routings=self.fallback_routings,
+            arrivals_rejected=self.arrivals_rejected,
+            messages_dropped=self.messages_dropped,
+            messages_retransmitted=self.messages_retransmitted,
+            duplicate_messages=self.duplicate_messages,
+            fault_events=self.fault_events,
+            fault_episodes=tuple(fault_episodes),
         )

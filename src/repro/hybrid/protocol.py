@@ -40,6 +40,9 @@ __all__ = [
     "AuthReply",
     "CommitOrder",
     "ReleaseOrder",
+    "TxnResponse",
+    "ShipmentCancel",
+    "CancelAck",
     "RemoteLockRequest",
     "RemoteLockReply",
     "RemoteCommit",
@@ -141,6 +144,48 @@ class ReleaseOrder:
     """Clean-up after a failed authentication round."""
 
     txn_id: int
+    snapshot: CentralSnapshot
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant operation (active only when a FaultPlan is in force).
+# Under reliable channels the completion of a shipped/central transaction
+# travels as an explicit TxnResponse message (so it survives lossy links),
+# and a home site whose retry budget for a shipment is exhausted settles
+# the transaction's fate with a ShipmentCancel/CancelAck handshake: the
+# channel's FIFO guarantee means the cancel is processed strictly after
+# the shipment, so the central site can answer definitively.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TxnResponse:
+    """Central -> site: the output message of a shipped/central txn."""
+
+    txn: Transaction
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class ShipmentCancel:
+    """Site -> central: give up on a shipped transaction's response."""
+
+    txn_id: int
+    site: int
+
+
+@dataclass
+class CancelAck:
+    """Central -> site: the shipment's definitive fate.
+
+    ``outcome`` is ``"killed"`` (the transaction was stopped before
+    committing -- the home site may safely re-run it locally) or
+    ``"completed"`` (it committed; the response precedes this ack on the
+    same FIFO channel).
+    """
+
+    txn_id: int
+    outcome: str
     snapshot: CentralSnapshot
 
 

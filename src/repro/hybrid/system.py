@@ -18,7 +18,8 @@ from typing import TYPE_CHECKING
 from ..db.workload import ArrivalProcess, LockSpacePartition, \
     TransactionFactory
 from ..sim.engine import Environment
-from ..sim.network import Link
+from ..sim.faults import FaultInjector, FaultPlan, episode_reports
+from ..sim.network import Link, ReliableEndpoint
 from ..sim.rng import RandomStreams
 from ..sim.stats import TimeWeightedStat
 from ..sim.trace import NullTracer, Tracer
@@ -52,7 +53,8 @@ class HybridSystem:
                  seed: int | None = None,
                  tracer: "Tracer | NullTracer | None" = None,
                  telemetry_interval: float = TELEMETRY_INTERVAL,
-                 telemetry_capacity: int = TELEMETRY_CAPACITY):
+                 telemetry_capacity: int = TELEMETRY_CAPACITY,
+                 fault_plan: "FaultPlan | None" = None):
         self.config = config
         self.seed = config.seed if seed is None else seed
         self.env = Environment()
@@ -84,6 +86,33 @@ class HybridSystem:
             from_central.append(down)
         self.central.attach_links(to_sites=from_central,
                                   from_sites=to_central)
+
+        # Fault injection is strictly opt-in: with no plan (or an empty
+        # one) nothing below schedules an event, touches a random stream
+        # or changes a message path, so the run stays bit-identical to a
+        # plain one.
+        self.fault_plan = fault_plan
+        self.injector: FaultInjector | None = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            retry = fault_plan.retry
+            for site, up, down in zip(self.sites, to_central, from_central):
+                for link in (up, down):
+                    link.on_drop = self.metrics.record_drop
+                site_chan = ReliableEndpoint(
+                    self.env, up, name=f"chan:site-{site.site_id}",
+                    timeout=retry.message_timeout, backoff=retry.backoff,
+                    max_timeout=retry.max_message_timeout,
+                    on_retransmit=self.metrics.record_retransmit,
+                    on_duplicate=self.metrics.record_duplicate)
+                central_chan = ReliableEndpoint(
+                    self.env, down, name=f"chan:central-{site.site_id}",
+                    timeout=retry.message_timeout, backoff=retry.backoff,
+                    max_timeout=retry.max_message_timeout,
+                    on_retransmit=self.metrics.record_retransmit,
+                    on_duplicate=self.metrics.record_duplicate)
+                site.enable_reliability(site_chan, retry)
+                self.central.enable_reliability(site.site_id, central_chan)
+            self.injector = FaultInjector(self, fault_plan)
 
         self.factory = TransactionFactory(config.workload, self.streams)
         self.arrivals = [
@@ -149,6 +178,10 @@ class HybridSystem:
         self.env.run(until=config.run_until)
         wall_clock = time.perf_counter() - wall_start
         series = self.telemetry.series
+        fault_episodes = ()
+        if self.injector is not None:
+            fault_episodes = episode_reports(self.injector.applied,
+                                             series.windows)
         return self.metrics.freeze(
             total_rate=config.workload.total_arrival_rate,
             comm_delay=config.comm_delay,
@@ -171,10 +204,13 @@ class HybridSystem:
                                    if wall_clock > 0 else 0.0),
             engine_heap_peak=self.env.heap_peak,
             wall_clock_seconds=wall_clock,
+            fault_episodes=fault_episodes,
         )
 
 
 def simulate(config: SystemConfig, router_factory: "RouterFactory",
-             seed: int | None = None) -> SimulationResult:
+             seed: int | None = None,
+             fault_plan: "FaultPlan | None" = None) -> SimulationResult:
     """Build a :class:`HybridSystem` and run it to completion."""
-    return HybridSystem(config, router_factory, seed=seed).run()
+    return HybridSystem(config, router_factory, seed=seed,
+                        fault_plan=fault_plan).run()

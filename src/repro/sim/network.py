@@ -1,4 +1,4 @@
-"""Constant-delay, order-preserving communication links.
+"""Communication links: constant or degraded delay, loss, reliability.
 
 The paper models the long-haul network between each local site and the
 central complex as a fixed communications delay (0.2 s in the base case,
@@ -10,17 +10,41 @@ constant latency and FIFO delivery per link.
 Messages are arbitrary Python objects; delivery deposits them into the
 destination's :class:`~repro.sim.resources.Store` mailbox, or invokes a
 callback for request/response patterns.
+
+Two extensions support the fault-injection subsystem
+(:mod:`repro.sim.faults`):
+
+* a link can be *degraded* (:meth:`Link.set_fault`): messages are dropped
+  with a given probability at send time and delivery delays gain a
+  multiplicative factor plus uniform jitter.  Jittered delays can overtake
+  one another, so delivery runs through a sequence-numbered re-order
+  buffer that restores per-link FIFO order (sequence numbers are assigned
+  only to messages that survive the drop decision, so the buffer never
+  waits for a message that will not arrive);
+* :class:`ReliableEndpoint` layers a TCP-like reliability protocol over a
+  lossy link pair: per-message sequence numbers, cumulative
+  acknowledgements, timeout-based retransmission with exponential backoff,
+  and receiver-side deduplication plus hold-back reassembly -- giving
+  exactly-once, in-order delivery of application messages no matter how
+  lossy the underlying links are.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from .engine import Environment
 from .resources import Store
 
-__all__ = ["Link", "Message", "DuplexChannel"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+__all__ = ["Link", "Message", "DuplexChannel", "ReliableEndpoint",
+           "ACK_KIND"]
+
+#: Message kind used by :class:`ReliableEndpoint` acknowledgement frames.
+ACK_KIND = "chan-ack"
 
 
 @dataclass
@@ -29,7 +53,9 @@ class Message:
 
     ``kind`` is a short tag used by the receiver's dispatch loop,
     ``payload`` carries protocol-specific content, ``sent_at`` is stamped
-    by the link for latency accounting.
+    by the link for latency accounting.  ``rel_seq`` is the reliability
+    sequence number stamped by a :class:`ReliableEndpoint` (``None`` for
+    messages sent outside a reliable channel).
     """
 
     kind: str
@@ -37,16 +63,17 @@ class Message:
     source: Any = None
     sent_at: float = field(default=0.0)
     sequence: int = field(default=0)
+    rel_seq: int | None = field(default=None)
 
 
 class Link:
-    """One-way link with constant propagation delay and FIFO ordering.
+    """One-way link with propagation delay and FIFO delivery.
 
     With a constant delay FIFO ordering is automatic (the event calendar
-    is stable), but the class still tracks sequence numbers and asserts
-    in-order delivery so that experiments with randomised delays (an
-    extension hook) cannot silently violate the protocol's ordering
-    requirement.
+    is stable).  Under fault injection delays are randomised and messages
+    may be dropped; sequence numbers plus a re-order buffer guarantee
+    that whatever *is* delivered still arrives in send order, preserving
+    the protocol's per-link ordering requirement.
     """
 
     def __init__(self, env: Environment, delay: float,
@@ -59,8 +86,60 @@ class Link:
         self.mailbox = Store(env)
         self._next_seq = 0
         self._last_delivered = -1
+        #: Out-of-order arrivals parked until their predecessors arrive:
+        #: sequence -> (message, on_delivery).
+        self._reorder: dict[int, tuple[Message, Callable | None]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_reordered = 0
+        # Degradation state (set by the fault injector).
+        self._drop_probability = 0.0
+        self._jitter = 0.0
+        self._delay_factor = 1.0
+        self._rng: "random.Random | None" = None
+        #: Optional observer invoked with each dropped message.
+        self.on_drop: Callable[[Message], None] | None = None
+
+    # -- degradation ---------------------------------------------------------
+
+    def set_fault(self, drop_probability: float = 0.0, jitter: float = 0.0,
+                  delay_factor: float = 1.0,
+                  rng: "random.Random | None" = None) -> None:
+        """Degrade the link (probabilistic loss, jittered/scaled delay).
+
+        ``rng`` supplies the randomness for drop decisions and jitter;
+        it must be provided whenever ``drop_probability`` or ``jitter``
+        is non-zero so runs stay deterministic under a fixed seed.
+        """
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], "
+                f"got {drop_probability}")
+        if jitter < 0 or delay_factor <= 0:
+            raise ValueError(
+                f"invalid degradation (jitter {jitter}, "
+                f"delay_factor {delay_factor})")
+        if rng is None and (0.0 < drop_probability < 1.0 or jitter > 0):
+            raise ValueError("randomised degradation requires an rng")
+        self._drop_probability = drop_probability
+        self._jitter = jitter
+        self._delay_factor = delay_factor
+        self._rng = rng
+
+    def clear_fault(self) -> None:
+        """Restore the healthy constant-delay, loss-free behaviour."""
+        self._drop_probability = 0.0
+        self._jitter = 0.0
+        self._delay_factor = 1.0
+        self._rng = None
+
+    @property
+    def degraded(self) -> bool:
+        return (self._drop_probability > 0.0 or self._jitter > 0.0 or
+                self._delay_factor != 1.0)
+
+    # -- transmission --------------------------------------------------------
 
     def send(self, message: Message,
              on_delivery: Callable[[Message], None] | None = None) -> None:
@@ -71,18 +150,52 @@ class Link:
         responses that complete a pending event).
         """
         message.sent_at = self.env.now
+        self.messages_sent += 1
+        delay = self.delay
+        if self.degraded:
+            # Drop decision *before* a sequence number is consumed, so
+            # the delivered sequence remains gap-free and the re-order
+            # buffer never stalls waiting for a lost message.
+            if self._drop_probability >= 1.0 or (
+                    self._drop_probability > 0.0 and
+                    self._rng.random() < self._drop_probability):
+                self.messages_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(message)
+                return
+            delay = delay * self._delay_factor
+            if self._jitter > 0.0:
+                delay += self._rng.uniform(0.0, self._jitter)
         message.sequence = self._next_seq
         self._next_seq += 1
-        self.messages_sent += 1
-        self.env.process(self._deliver(message, on_delivery),
+        self.env.process(self._deliver(message, on_delivery, delay),
                          name=f"{self.name}:deliver")
 
     def _deliver(self, message: Message,
-                 on_delivery: Callable[[Message], None] | None):
-        yield self.env.timeout(self.delay)
-        if message.sequence <= self._last_delivered:
-            raise AssertionError(
-                f"{self.name}: out-of-order delivery of {message}")
+                 on_delivery: Callable[[Message], None] | None,
+                 delay: float):
+        yield self.env.timeout(delay)
+        self._arrive(message, on_delivery)
+
+    def _arrive(self, message: Message,
+                on_delivery: Callable[[Message], None] | None) -> None:
+        expected = self._last_delivered + 1
+        if message.sequence > expected:
+            # Overtaken by jitter: park until the predecessors arrive.
+            self.messages_reordered += 1
+            self._reorder[message.sequence] = (message, on_delivery)
+            return
+        if message.sequence < expected:  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"{self.name}: duplicate delivery of {message}")
+        self._hand_over(message, on_delivery)
+        # Flush any parked successors that are now in order.
+        while self._last_delivered + 1 in self._reorder:
+            parked, callback = self._reorder.pop(self._last_delivered + 1)
+            self._hand_over(parked, callback)
+
+    def _hand_over(self, message: Message,
+                   on_delivery: Callable[[Message], None] | None) -> None:
         self._last_delivered = message.sequence
         self.messages_delivered += 1
         if on_delivery is not None:
@@ -92,8 +205,9 @@ class Link:
 
     @property
     def in_flight(self) -> int:
-        """Messages sent but not yet delivered."""
-        return self.messages_sent - self.messages_delivered
+        """Messages sent but not yet delivered (dropped ones excluded)."""
+        return (self.messages_sent - self.messages_delivered -
+                self.messages_dropped)
 
 
 class DuplexChannel:
@@ -111,3 +225,124 @@ class DuplexChannel:
     def round_trip(self) -> float:
         """Nominal round-trip time."""
         return self.forward.delay + self.backward.delay
+
+
+class ReliableEndpoint:
+    """One end of a reliable, in-order message channel over lossy links.
+
+    Both ends of a site<->central link pair own a ``ReliableEndpoint``
+    whose ``out_link`` is their sending link.  Application messages get a
+    per-channel sequence number (``rel_seq``) and are retransmitted on a
+    timeout with exponential backoff (capped, *unbounded* retries: the
+    protocol's commit/release orders must eventually arrive or master
+    locks would leak forever -- bounded give-up belongs at the
+    transaction level, not the transport level).  The receiver
+    deduplicates, reassembles in order through a hold-back buffer, and
+    answers every incoming frame with a cumulative acknowledgement.
+
+    The owner's dispatch loop feeds every raw frame from its inbound
+    mailbox to :meth:`pump`, which returns the application messages that
+    became deliverable (in order, exactly once).
+    """
+
+    def __init__(self, env: Environment, out_link: Link, name: str,
+                 timeout: float, backoff: float = 2.0,
+                 max_timeout: float = 8.0,
+                 on_retransmit: Callable[[Message], None] | None = None,
+                 on_duplicate: Callable[[Message], None] | None = None):
+        if timeout <= 0 or backoff < 1.0 or max_timeout < timeout:
+            raise ValueError(
+                f"invalid retransmission policy (timeout {timeout}, "
+                f"backoff {backoff}, max {max_timeout})")
+        self.env = env
+        self.out_link = out_link
+        self.name = name
+        self.timeout = float(timeout)
+        self.backoff = float(backoff)
+        self.max_timeout = float(max_timeout)
+        self.on_retransmit = on_retransmit
+        self.on_duplicate = on_duplicate
+        self._next_seq = 0
+        #: Unacknowledged sends: rel_seq -> (kind, payload, source).
+        self._unacked: dict[int, tuple[str, Any, Any]] = {}
+        self._recv_delivered = -1
+        self._holdback: dict[int, Message] = {}
+        self.retransmits = 0
+        self.duplicates_discarded = 0
+        self.acks_sent = 0
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Transmit an application message reliably."""
+        seq = self._next_seq
+        self._next_seq += 1
+        message.rel_seq = seq
+        self._unacked[seq] = (message.kind, message.payload, message.source)
+        self.out_link.send(message)
+        self.env.process(self._watch(seq),
+                         name=f"{self.name}:retransmit-{seq}")
+
+    def _watch(self, seq: int):
+        """Retransmission timer for one message (exponential backoff)."""
+        delay = self.timeout
+        while True:
+            yield self.env.timeout(delay)
+            entry = self._unacked.get(seq)
+            if entry is None:
+                return
+            kind, payload, source = entry
+            # A fresh Message each resend: the link stamps per-transmission
+            # state (sequence, sent_at) on the envelope, so reusing the
+            # original object would alias in-flight deliveries.
+            resend = Message(kind=kind, payload=payload, source=source,
+                             rel_seq=seq)
+            self.retransmits += 1
+            if self.on_retransmit is not None:
+                self.on_retransmit(resend)
+            self.out_link.send(resend)
+            delay = min(delay * self.backoff, self.max_timeout)
+
+    @property
+    def unacked(self) -> int:
+        """Application messages sent but not yet acknowledged."""
+        return len(self._unacked)
+
+    # -- receiving -----------------------------------------------------------
+
+    def pump(self, message: Message) -> list[Message]:
+        """Process one raw inbound frame; return deliverable app messages.
+
+        Acknowledgement frames retire unacked sends and yield nothing.
+        Application frames are deduplicated and reassembled in ``rel_seq``
+        order; every one (fresh or duplicate) triggers a cumulative ack
+        so the peer's retransmission timers converge.
+        """
+        if message.kind == ACK_KIND:
+            acked_through = message.payload
+            for seq in [s for s in self._unacked if s <= acked_through]:
+                del self._unacked[seq]
+            return []
+        seq = message.rel_seq
+        if seq is None:
+            # Not channel-framed (sent before reliability was enabled);
+            # pass through untouched.
+            return [message]
+        deliverable: list[Message] = []
+        if seq <= self._recv_delivered or seq in self._holdback:
+            self.duplicates_discarded += 1
+            if self.on_duplicate is not None:
+                self.on_duplicate(message)
+        else:
+            self._holdback[seq] = message
+            while self._recv_delivered + 1 in self._holdback:
+                self._recv_delivered += 1
+                deliverable.append(
+                    self._holdback.pop(self._recv_delivered))
+        self._send_ack()
+        return deliverable
+
+    def _send_ack(self) -> None:
+        self.acks_sent += 1
+        self.out_link.send(Message(kind=ACK_KIND,
+                                   payload=self._recv_delivered))

@@ -1,0 +1,81 @@
+"""Chaos smoke: the CI gate for fault-injection robustness.
+
+Runs the canned ``chaos`` scenario (lossy links bracketing a central
+outage plus a CPU-slowdown on re-entry) with the protocol-invariant
+checker attached, and asserts the system's liveness contract: committed
+throughput stays nonzero, every transaction from the fault window is
+settled (committed, failed over, or counted failed), and not a single
+protocol invariant is violated through degradation and recovery.
+"""
+
+from repro.core import STRATEGIES
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.checker import attach_checker
+from repro.sim.faults import RetryPolicy, chaos_plan, standard_outage_plan
+
+WARMUP = 5.0
+MEASURE = 45.0
+
+#: A retry policy quick enough for the short smoke horizon.
+RETRY = RetryPolicy(message_timeout=0.5, backoff=2.0,
+                    max_message_timeout=2.0, shipment_timeout=1.0,
+                    shipment_attempts=2, snapshot_max_age=5.0)
+
+
+def run_with_checker(plan, strategy="static-optimal", total_rate=22.0):
+    config = paper_config(total_rate=total_rate, warmup_time=WARMUP,
+                          measure_time=MEASURE, seed=29)
+    system = HybridSystem(config, STRATEGIES[strategy](config),
+                          fault_plan=plan)
+    checker = attach_checker(system)
+    result = system.run()  # raises InvariantViolation on any breach
+    return system, checker, result
+
+
+def test_chaos_plan_keeps_committing_with_zero_violations():
+    plan = chaos_plan(warmup_time=WARMUP, measure_time=MEASURE,
+                      retry=RETRY)
+    system, checker, result = run_with_checker(plan)
+    # Nonzero committed throughput through lossy links + outage.
+    assert result.throughput > 1.0
+    assert result.completed > 100
+    # All three episode kinds applied and reverted.
+    assert result.fault_events == 6
+    assert len(result.fault_episodes) == 3
+    # The faults actually bit: losses and retransmissions happened.
+    assert result.messages_dropped > 0
+    assert result.messages_retransmitted > 0
+    # Zero checker violations (a breach raises) and real coverage.
+    assert checker.stats.audits > 50
+    assert checker.stats.completions_checked > 100
+
+
+def test_outage_settles_every_fault_window_transaction():
+    plan = standard_outage_plan(warmup_time=WARMUP, measure_time=MEASURE,
+                                retry=RETRY)
+    system, checker, result = run_with_checker(plan)
+    (episode,) = system.fault_plan.episodes
+    # Nothing shipped during the outage window may still be pending:
+    # recovery happened at episode.end, the shipment budget is ~3s plus
+    # the cancel round trip, and the horizon leaves ample slack.
+    for site in system.sites:
+        for txn in site._pending_ship.values():
+            assert txn.arrival_time > episode.end, (
+                f"txn {txn.txn_id} (arrived {txn.arrival_time:.1f}s, "
+                f"outage {episode.start:.1f}..{episode.end:.1f}s) "
+                f"never settled")
+    assert result.throughput > 1.0
+    # The fate accounting is complete: timeouts either failed over,
+    # failed permanently, or turned out to be completions.
+    assert result.txns_timed_out >= (result.txns_failed_over +
+                                     result.txns_failed)
+
+
+def test_chaos_is_reproducible():
+    plan = chaos_plan(warmup_time=WARMUP, measure_time=MEASURE,
+                      retry=RETRY)
+    _, _, first = run_with_checker(plan)
+    _, _, second = run_with_checker(plan)
+    assert first.throughput == second.throughput
+    assert first.engine_events == second.engine_events
+    assert first.messages_dropped == second.messages_dropped

@@ -1,0 +1,145 @@
+"""Abort-storm edge cases: mass deadlocks and same-step abort waves.
+
+The paper's Section 3.1 models deadlock resolution as "the victim
+releases all locks"; these tests stress that machinery when *many*
+cycles form or resolve in the same simulation step, which is exactly
+what a fault-recovery wave produces (queued work all retrying at once).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import STRATEGIES
+from repro.db import DeadlockError, LockMode
+from repro.db.locks import LockManager
+from repro.hybrid import HybridSystem, paper_config
+from repro.hybrid.checker import attach_checker
+from repro.sim.engine import Environment
+
+
+# -- mass deadlock formation -------------------------------------------------
+
+
+def test_many_simultaneous_cycles_each_pick_one_victim():
+    """N independent 2-cycles created back to back: exactly one victim
+    per cycle (the requester that closes it), and every survivor's
+    pending grant fires once the victim releases."""
+    env = Environment()
+    manager = LockManager(env)
+    n_cycles = 25
+    victims = []
+    survivors = []
+    for index in range(n_cycles):
+        a, b = 100 + 2 * index, 101 + 2 * index
+        e1, e2 = 1000 + 2 * index, 1001 + 2 * index
+        assert manager.acquire(a, e1, LockMode.EXCLUSIVE).triggered
+        assert manager.acquire(b, e2, LockMode.EXCLUSIVE).triggered
+        # a waits for b's entity: a chain, not yet a cycle.
+        wait = manager.acquire(a, e2, LockMode.EXCLUSIVE)
+        assert not wait.triggered
+        survivors.append((a, wait))
+        # b closing the cycle makes b the victim.
+        grant = manager.acquire(b, e1, LockMode.EXCLUSIVE)
+        assert grant.triggered and not grant.ok
+        assert isinstance(grant.value, DeadlockError)
+        victims.append(b)
+    assert manager.deadlocks == n_cycles
+    # The abort wave: every victim releases everything at once.
+    for victim in victims:
+        manager.release_all(victim)
+    for txn_id, wait in survivors:
+        assert wait.triggered and wait.ok, f"txn {txn_id} still blocked"
+    assert not manager._waits_for.has_cycle()
+    assert manager.waiting_requests() == 0
+
+
+def test_victim_selection_is_deterministic():
+    """The same interleaving always aborts the same transaction."""
+    def run_once():
+        env = Environment()
+        manager = LockManager(env)
+        manager.acquire(1, 10, LockMode.EXCLUSIVE)
+        manager.acquire(2, 20, LockMode.EXCLUSIVE)
+        manager.acquire(3, 30, LockMode.EXCLUSIVE)
+        manager.acquire(1, 20, LockMode.EXCLUSIVE)      # 1 -> 2
+        manager.acquire(2, 30, LockMode.EXCLUSIVE)      # 2 -> 3
+        event = manager.acquire(3, 10, LockMode.EXCLUSIVE)  # closes cycle
+        assert event.triggered and not event.ok
+        return event.value.txn_id
+
+    assert {run_once() for _ in range(5)} == {3}
+
+
+def test_release_storm_grants_fifo_without_cycles():
+    """One writer holding a hot entity with a deep waiter queue: the
+    release must grant the whole compatible prefix in FIFO order and
+    leave a consistent waits-for graph."""
+    env = Environment()
+    manager = LockManager(env)
+    hot = 7
+    manager.acquire(1, hot, LockMode.EXCLUSIVE)
+    readers = [manager.acquire(txn, hot, LockMode.SHARE)
+               for txn in range(2, 22)]
+    assert not any(event.triggered for event in readers)
+    manager.release_all(1)
+    # All 20 share requests are mutually compatible: everyone runs.
+    assert all(event.triggered and event.ok for event in readers)
+    assert manager.waiting_requests() == 0
+    assert not manager._waits_for.has_cycle()
+
+
+def test_cancelled_waiters_unblock_queue_behind_them():
+    """Aborting a queued writer must let compatible readers behind it
+    through (cancel_waits re-grants, not just removes)."""
+    env = Environment()
+    manager = LockManager(env)
+    manager.acquire(1, 5, LockMode.SHARE)
+    writer = manager.acquire(2, 5, LockMode.EXCLUSIVE)
+    reader = manager.acquire(3, 5, LockMode.SHARE)
+    assert not writer.triggered and not reader.triggered
+    manager.cancel_waits(2)  # the writer aborts while queued
+    assert reader.triggered and reader.ok
+
+
+# -- same-step abort waves under load ---------------------------------------
+
+
+def high_contention_config(total_rate=20.0, seed=17):
+    base = paper_config(total_rate=total_rate, warmup_time=5.0,
+                        measure_time=30.0, seed=seed)
+    # A tiny lock space makes collisions (and thus abort storms) common.
+    return base.with_options(workload=replace(base.workload,
+                                              lockspace=400))
+
+
+@pytest.mark.parametrize("strategy", ["none", "static-optimal"])
+def test_checker_survives_high_contention_abort_waves(strategy):
+    config = high_contention_config()
+    system = HybridSystem(config, STRATEGIES[strategy](config))
+    checker = attach_checker(system)
+    result = system.run()  # raises InvariantViolation on any breach
+    assert result.abort_rate > 0.05, "workload not contended enough"
+    assert result.throughput > 0
+    assert checker.stats.completions_checked > 20
+
+
+def test_abort_storm_under_outage_stays_invariant_clean():
+    """Contention plus a central outage: the recovery wave (queued
+    shipments, retries and failovers all resolving together) must not
+    break lock-table or ordering invariants."""
+    from repro.sim.faults import (CENTRAL_OUTAGE, FaultEpisode, FaultPlan,
+                                  RetryPolicy)
+
+    config = high_contention_config()
+    plan = FaultPlan(
+        episodes=(FaultEpisode(kind=CENTRAL_OUTAGE, start=10.0,
+                               duration=4.0),),
+        retry=RetryPolicy(message_timeout=0.5, max_message_timeout=2.0,
+                          shipment_timeout=1.0, shipment_attempts=2))
+    system = HybridSystem(config, STRATEGIES["static-optimal"](config),
+                          fault_plan=plan)
+    checker = attach_checker(system)
+    result = system.run()
+    assert result.txns_timed_out > 0
+    assert checker.stats.completions_checked > 20

@@ -1,0 +1,169 @@
+"""Tests for fault plans, episodes, retry policies and reports."""
+
+import pytest
+
+from repro.sim.faults import (
+    CENTRAL_OUTAGE,
+    CPU_SLOWDOWN,
+    LINK_DEGRADATION,
+    SITE_CRASH,
+    FaultEpisode,
+    FaultPlan,
+    NAMED_PLANS,
+    RetryPolicy,
+    chaos_plan,
+    episode_reports,
+    lossy_links_plan,
+    resolve_fault_plan,
+    site_crash_plan,
+    standard_outage_plan,
+)
+
+# -- episode validation ------------------------------------------------------
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultEpisode(kind="meteor-strike", start=1.0, duration=1.0)
+
+
+def test_bad_windows_rejected():
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=CENTRAL_OUTAGE, start=-1.0, duration=1.0)
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=CENTRAL_OUTAGE, start=0.0, duration=0.0)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=LINK_DEGRADATION, start=0.0, duration=1.0,
+                     drop_probability=1.5)
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=LINK_DEGRADATION, start=0.0, duration=1.0,
+                     jitter=-0.1)
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=LINK_DEGRADATION, start=0.0, duration=1.0,
+                     delay_factor=0.0)
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=CPU_SLOWDOWN, start=0.0, duration=1.0,
+                     slowdown=-2.0)
+
+
+def test_site_crash_requires_target():
+    with pytest.raises(ValueError):
+        FaultEpisode(kind=SITE_CRASH, start=0.0, duration=1.0)
+    episode = FaultEpisode(kind=SITE_CRASH, start=2.0, duration=3.0,
+                           site=4)
+    assert episode.end == 5.0
+
+
+# -- retry policy ------------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(message_timeout=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.9)
+    with pytest.raises(ValueError):
+        RetryPolicy(message_timeout=2.0, max_message_timeout=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(shipment_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(snapshot_max_age=0.0)
+
+
+# -- plans -------------------------------------------------------------------
+
+
+def test_empty_plan():
+    plan = FaultPlan.empty()
+    assert plan.is_empty
+    assert plan.episodes == ()
+
+
+def test_plan_round_trips_through_json():
+    plan = chaos_plan(warmup_time=10.0, measure_time=40.0,
+                      retry=RetryPolicy(message_timeout=0.5,
+                                        shipment_attempts=2))
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+
+
+def test_scaled_plan_stretches_schedule():
+    plan = standard_outage_plan(warmup_time=10.0, measure_time=40.0)
+    doubled = plan.scaled(2.0)
+    assert doubled.episodes[0].start == 2 * plan.episodes[0].start
+    assert doubled.episodes[0].duration == 2 * plan.episodes[0].duration
+    with pytest.raises(ValueError):
+        plan.scaled(0.0)
+
+
+def test_canned_plans_fit_the_horizon():
+    warmup, measure = 20.0, 60.0
+    for name, builder in NAMED_PLANS.items():
+        plan = builder(warmup_time=warmup, measure_time=measure)
+        assert not plan.is_empty, name
+        for episode in plan.episodes:
+            assert episode.start >= warmup, name
+            assert episode.end <= warmup + measure, name
+
+
+def test_resolve_named_plan():
+    plan = resolve_fault_plan("central-outage", warmup_time=10.0,
+                              measure_time=40.0)
+    assert plan.episodes[0].kind == CENTRAL_OUTAGE
+
+
+def test_resolve_json_file(tmp_path):
+    source = lossy_links_plan(warmup_time=5.0, measure_time=20.0)
+    path = tmp_path / "plan.json"
+    path.write_text(source.to_json(), encoding="utf-8")
+    assert resolve_fault_plan(str(path), 0.0, 0.0) == source
+
+
+def test_resolve_rejects_garbage():
+    with pytest.raises(ValueError):
+        resolve_fault_plan("no-such-plan-or-file", 10.0, 40.0)
+
+
+def test_site_crash_plan_targets_site():
+    plan = site_crash_plan(warmup_time=5.0, measure_time=20.0, site=3)
+    assert plan.episodes[0].site == 3
+
+
+# -- availability reports ----------------------------------------------------
+
+
+class _Window:
+    def __init__(self, start, end, throughput):
+        self.start = start
+        self.end = end
+        self.throughput = throughput
+
+
+def test_episode_reports_measure_degradation_and_recovery():
+    episode = FaultEpisode(kind=CENTRAL_OUTAGE, start=5.0, duration=3.0)
+    windows = [_Window(t, t + 1.0, 10.0) for t in range(5)]       # baseline
+    windows += [_Window(t, t + 1.0, 2.0) for t in range(5, 8)]    # degraded
+    windows += [_Window(8.0, 9.0, 4.0),                           # ramping
+                _Window(9.0, 10.0, 9.0)]                          # recovered
+    (report,) = episode_reports([episode], windows)
+    assert report.kind == CENTRAL_OUTAGE
+    assert report.baseline_throughput == pytest.approx(10.0)
+    assert report.degraded_throughput == pytest.approx(2.0)
+    # 0.7 * 10 = 7 first reached by the window ending at 10.0.
+    assert report.time_to_recover == pytest.approx(2.0)
+
+
+def test_episode_reports_without_recovery_or_baseline():
+    episode = FaultEpisode(kind=CENTRAL_OUTAGE, start=5.0, duration=3.0)
+    # No windows before the episode: no baseline, recovery undefined.
+    windows = [_Window(5.0, 6.0, 1.0), _Window(6.0, 7.0, 1.0)]
+    (report,) = episode_reports([episode], windows)
+    assert report.baseline_throughput == 0.0
+    assert report.time_to_recover is None
+
+
+def test_episode_reports_empty_inputs():
+    assert episode_reports([], []) == ()

@@ -1,0 +1,262 @@
+"""Tests for link degradation and the reliable channel layer."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import ACK_KIND, Link, Message, ReliableEndpoint
+
+
+class ScriptedRng:
+    """Deterministic stand-in for random.Random: scripted draw values."""
+
+    def __init__(self, randoms=(), uniforms=()):
+        self._randoms = list(randoms)
+        self._uniforms = list(uniforms)
+
+    def random(self):
+        return self._randoms.pop(0) if self._randoms else 0.5
+
+    def uniform(self, low, high):
+        if self._uniforms:
+            return low + (high - low) * self._uniforms.pop(0)
+        return (low + high) / 2.0
+
+
+# -- degradation parameter validation ---------------------------------------
+
+
+def test_set_fault_rejects_bad_parameters():
+    link = Link(Environment(), 0.2)
+    with pytest.raises(ValueError):
+        link.set_fault(drop_probability=1.5)
+    with pytest.raises(ValueError):
+        link.set_fault(jitter=-0.1, rng=ScriptedRng())
+    with pytest.raises(ValueError):
+        link.set_fault(delay_factor=0.0)
+    with pytest.raises(ValueError):
+        # Randomised degradation without an rng would be irreproducible.
+        link.set_fault(drop_probability=0.5)
+    with pytest.raises(ValueError):
+        link.set_fault(jitter=0.1)
+
+
+def test_clear_fault_restores_constant_delay():
+    env = Environment()
+    link = Link(env, 0.2)
+    link.set_fault(drop_probability=1.0)
+    assert link.degraded
+    link.clear_fault()
+    assert not link.degraded
+    received = []
+    link.send(Message(kind="m", payload=1), on_delivery=received.append)
+    env.run()
+    assert [m.payload for m in received] == [1]
+
+
+# -- out-of-order delivery regression (the jitter re-order fix) -------------
+
+
+def test_jittered_link_delivers_in_send_order():
+    """Jitter can make a later message physically arrive first; the
+    re-order buffer must still hand messages over in send order."""
+    env = Environment()
+    link = Link(env, 0.2, name="jittery")
+    # First message jittered by the full 0.5 s, second not at all: the
+    # second would overtake the first without the re-order buffer.
+    link.set_fault(jitter=0.5, rng=ScriptedRng(uniforms=[1.0, 0.0]))
+    received = []
+    link.send(Message(kind="m", payload="first"),
+              on_delivery=received.append)
+    link.send(Message(kind="m", payload="second"),
+              on_delivery=received.append)
+    env.run()
+    assert [m.payload for m in received] == ["first", "second"]
+    assert link.messages_reordered == 1
+    assert link.messages_delivered == 2
+    assert link.in_flight == 0
+
+
+def test_many_jittered_messages_keep_fifo_order():
+    env = Environment()
+    link = Link(env, 0.1, name="jittery")
+    # Descending jitter: every message overtakes all of its predecessors.
+    count = 8
+    link.set_fault(jitter=1.0, rng=ScriptedRng(
+        uniforms=[(count - 1 - i) / count for i in range(count)]))
+    received = []
+    for index in range(count):
+        link.send(Message(kind="m", payload=index),
+                  on_delivery=received.append)
+    env.run()
+    assert [m.payload for m in received] == list(range(count))
+    assert link.messages_reordered == count - 1
+
+
+def test_mailbox_delivery_also_reordered():
+    env = Environment()
+    link = Link(env, 0.1)
+    link.set_fault(jitter=0.5, rng=ScriptedRng(uniforms=[1.0, 0.0]))
+    link.send(Message(kind="m", payload="a"))
+    link.send(Message(kind="m", payload="b"))
+    env.run()
+    items = list(link.mailbox.items)
+    assert [m.payload for m in items] == ["a", "b"]
+
+
+# -- message loss ------------------------------------------------------------
+
+
+def test_full_outage_drops_everything_and_notifies():
+    env = Environment()
+    link = Link(env, 0.2)
+    dropped = []
+    link.on_drop = dropped.append
+    link.set_fault(drop_probability=1.0)  # total outage needs no rng
+    link.send(Message(kind="m", payload=1))
+    link.send(Message(kind="m", payload=2))
+    env.run()
+    assert link.messages_dropped == 2
+    assert link.messages_delivered == 0
+    assert [m.payload for m in dropped] == [1, 2]
+    assert link.in_flight == 0
+
+
+def test_drops_do_not_stall_the_reorder_buffer():
+    """A dropped message must not leave a hole in the sequence space:
+    survivors keep flowing (the drop decision precedes numbering)."""
+    env = Environment()
+    link = Link(env, 0.2)
+    # random() draws: drop the second of three messages.
+    link.set_fault(drop_probability=0.5,
+                   rng=ScriptedRng(randoms=[0.9, 0.1, 0.9]))
+    received = []
+    for index in range(3):
+        link.send(Message(kind="m", payload=index),
+                  on_delivery=received.append)
+    env.run()
+    assert [m.payload for m in received] == [0, 2]
+    assert link.messages_dropped == 1
+    assert link.in_flight == 0
+
+
+def test_messages_in_flight_before_outage_still_arrive():
+    env = Environment()
+    link = Link(env, 0.2)
+    received = []
+    link.send(Message(kind="m", payload="early"),
+              on_delivery=received.append)
+    link.set_fault(drop_probability=1.0)
+    link.send(Message(kind="m", payload="late"),
+              on_delivery=received.append)
+    env.run()
+    assert [m.payload for m in received] == ["early"]
+
+
+# -- reliable endpoint -------------------------------------------------------
+
+
+def _drain(env, in_link, endpoint, delivered):
+    """Dispatch loop: pump every inbound frame through the endpoint."""
+    def loop():
+        while True:
+            frame = yield in_link.mailbox.get()
+            delivered.extend(endpoint.pump(frame))
+    env.process(loop(), name="drain")
+
+
+def test_reliable_endpoint_validates_policy():
+    env = Environment()
+    link = Link(env, 0.1)
+    with pytest.raises(ValueError):
+        ReliableEndpoint(env, link, name="x", timeout=0.0)
+    with pytest.raises(ValueError):
+        ReliableEndpoint(env, link, name="x", timeout=1.0, backoff=0.5)
+    with pytest.raises(ValueError):
+        ReliableEndpoint(env, link, name="x", timeout=2.0, max_timeout=1.0)
+
+
+def test_clean_channel_delivers_in_order_and_acks():
+    env = Environment()
+    a_to_b = Link(env, 0.1, name="a->b")
+    b_to_a = Link(env, 0.1, name="b->a")
+    sender = ReliableEndpoint(env, a_to_b, name="a", timeout=1.0)
+    receiver = ReliableEndpoint(env, b_to_a, name="b", timeout=1.0)
+    delivered = []
+    _drain(env, a_to_b, receiver, delivered)
+    _drain(env, b_to_a, sender, delivered)
+
+    for index in range(3):
+        sender.send(Message(kind="app", payload=index))
+    env.run(until=5.0)
+    app = [m.payload for m in delivered if m.kind == "app"]
+    assert app == [0, 1, 2]
+    assert sender.unacked == 0
+    assert sender.retransmits == 0
+    assert receiver.acks_sent == 3
+
+
+def test_lossy_channel_retransmits_until_delivered():
+    env = Environment()
+    a_to_b = Link(env, 0.1, name="a->b")
+    b_to_a = Link(env, 0.1, name="b->a")
+    # Drop the first two transmissions of the data frame, then heal.
+    a_to_b.set_fault(drop_probability=0.5,
+                     rng=ScriptedRng(randoms=[0.1, 0.1, 0.9, 0.9, 0.9]))
+    sender = ReliableEndpoint(env, a_to_b, name="a", timeout=0.5)
+    receiver = ReliableEndpoint(env, b_to_a, name="b", timeout=0.5)
+    delivered = []
+    _drain(env, a_to_b, receiver, delivered)
+    _drain(env, b_to_a, sender, delivered)
+
+    sender.send(Message(kind="app", payload="x"))
+    env.run(until=10.0)
+    assert [m.payload for m in delivered if m.kind == "app"] == ["x"]
+    assert sender.retransmits >= 2
+    assert sender.unacked == 0
+
+
+def test_duplicate_frames_are_discarded_and_reacked():
+    env = Environment()
+    a_to_b = Link(env, 0.1, name="a->b")
+    b_to_a = Link(env, 0.1, name="b->a")
+    # Drop every ack: the sender keeps retransmitting, the receiver must
+    # keep discarding duplicates (exactly-once) while re-acking.
+    b_to_a.set_fault(drop_probability=1.0)
+    dupes = []
+    sender = ReliableEndpoint(env, a_to_b, name="a", timeout=0.5,
+                              max_timeout=0.5)
+    receiver = ReliableEndpoint(env, b_to_a, name="b", timeout=0.5,
+                                on_duplicate=dupes.append)
+    delivered = []
+    _drain(env, a_to_b, receiver, delivered)
+    _drain(env, b_to_a, sender, delivered)
+
+    sender.send(Message(kind="app", payload="once"))
+    env.run(until=3.0)
+    assert [m.payload for m in delivered if m.kind == "app"] == ["once"]
+    assert receiver.duplicates_discarded >= 1
+    assert len(dupes) == receiver.duplicates_discarded
+    # Acks were all lost, so the message is still formally unacked.
+    assert sender.unacked == 1
+
+
+def test_unframed_messages_pass_through_pump():
+    env = Environment()
+    link = Link(env, 0.1)
+    endpoint = ReliableEndpoint(env, link, name="x", timeout=1.0)
+    plain = Message(kind="legacy", payload="p")  # rel_seq is None
+    assert endpoint.pump(plain) == [plain]
+
+
+def test_cumulative_ack_retires_all_earlier_sends():
+    env = Environment()
+    link = Link(env, 0.1)
+    endpoint = ReliableEndpoint(env, link, name="x", timeout=10.0,
+                                max_timeout=10.0)
+    for index in range(4):
+        endpoint.send(Message(kind="app", payload=index))
+    assert endpoint.unacked == 4
+    endpoint.pump(Message(kind=ACK_KIND, payload=2))
+    assert endpoint.unacked == 1
+    endpoint.pump(Message(kind=ACK_KIND, payload=3))
+    assert endpoint.unacked == 0
