@@ -17,7 +17,7 @@ from pathlib import Path
 
 from repro.core import AnalyticModel, optimize_static
 from repro.db import LockManager, LockMode
-from repro.experiments import RunSettings
+from repro.experiments import PrecisionSettings, RunSettings
 from repro.experiments.figures import figure_4_2
 from repro.hybrid import HybridSystem, paper_config
 from repro.core.router import AlwaysLocalRouter
@@ -122,6 +122,86 @@ def test_bench_figure_suite_parallel_speedup():
     if (os.cpu_count() or 1) >= 4:
         assert serial_seconds / parallel_seconds >= 2.0, (
             f"parallel figure suite too slow: {record}")
+
+
+def test_bench_adaptive_replication_savings():
+    """Adaptive precision targeting vs the fixed grid it is capped by.
+
+    Runs figure 4.2 once with a :class:`PrecisionSettings` (precision
+    target 10 %, cap 4 replications per point) and once with the
+    equivalent fixed grid (4 replications everywhere), then records the
+    replication counts, simulated work and wall-clock of both into
+    ``BENCH_adaptive.json`` so the savings trajectory accumulates
+    across PRs.  Like the parallel benchmark above this is one honest
+    wall-clock comparison per invocation, not a pytest-benchmark run.
+    """
+    scale = float(os.environ.get("REPRO_ADAPTIVE_BENCH_SCALE", "0.1"))
+    precision = PrecisionSettings(scale=scale, rel_precision=0.1,
+                                  min_replications=2, max_replications=4)
+    fixed_settings = precision.fixed_equivalent()
+
+    started = time.perf_counter()
+    fixed = figure_4_2(fixed_settings, workers=1)
+    fixed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    adaptive = figure_4_2(precision, workers=1)
+    adaptive_seconds = time.perf_counter() - started
+
+    fixed_points = [p for c in fixed.curves for p in c.points]
+    adaptive_points = [p for c in adaptive.curves for p in c.points]
+    fixed_reps = sum(p.n_replications for p in fixed_points)
+    adaptive_reps = sum(p.n_replications for p in adaptive_points)
+
+    # The whole point: the precision target saves simulated work.
+    assert adaptive_reps < fixed_reps, (
+        f"adaptive ran {adaptive_reps} replications vs {fixed_reps} fixed")
+
+    converged = 0
+    for point_f, point_a in zip(fixed_points, adaptive_points):
+        # Every point either met the target or ran to the cap ...
+        met = point_a.rt_relative_half_width <= precision.rel_precision
+        assert met or point_a.n_replications == precision.max_replications
+        converged += met
+        # ... and its replications are a prefix of the fixed grid's
+        # (common random numbers: replication r always seeds base+r).
+        assert (point_a.replications ==
+                point_f.replications[:point_a.n_replications])
+
+    record = {
+        "benchmark": "figure_4_2_adaptive",
+        "scale": scale,
+        "rel_precision": precision.rel_precision,
+        "min_replications": precision.min_replications,
+        "max_replications": precision.max_replications,
+        "points": len(adaptive_points),
+        "points_converged": converged,
+        "fixed_replications": fixed_reps,
+        "adaptive_replications": adaptive_reps,
+        "replications_saved": fixed_reps - adaptive_reps,
+        "fixed_engine_events": sum(r.engine_events
+                                   for p in fixed_points
+                                   for r in p.replications),
+        "adaptive_engine_events": sum(r.engine_events
+                                      for p in adaptive_points
+                                      for r in p.replications),
+        "fixed_seconds": round(fixed_seconds, 3),
+        "adaptive_seconds": round(adaptive_seconds, 3),
+        "speedup": round(fixed_seconds / adaptive_seconds, 3)
+        if adaptive_seconds > 0 else None,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    target = REPO_ROOT / "BENCH_adaptive.json"
+    history = []
+    if target.exists():
+        try:
+            history = json.loads(target.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    target.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_bench_resource_contention(benchmark):

@@ -5,6 +5,7 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --figure 4.1
     hybriddb-experiment --figure 4.2 --workers 4
     hybriddb-experiment --figure 4.4 --scale 0.5 --replications 2
+    hybriddb-experiment --figure 4.2 --precision 0.05 --max-replications 16
     hybriddb-experiment --figure all --scale 0.3 --workers 0
     hybriddb-experiment --figure 4.3 --csv fig43.csv
     hybriddb-experiment --figure 4.1 --no-cache
@@ -28,7 +29,7 @@ from .cache import ResultCache, default_cache_dir
 from .export import write_figure_csv, write_telemetry, write_trace_jsonl
 from .figures import ALL_FIGURES
 from .report import curve_summary, figure_report, format_table
-from .runner import RunSettings, run_single
+from .runner import PrecisionSettings, RunSettings, run_single
 from .validation import validate_model
 
 __all__ = ["main", "build_parser"]
@@ -88,7 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated-horizon scale factor (default 1.0; "
                              "0.3 for a quick look)")
     parser.add_argument("--replications", type=int, default=1,
-                        help="independent replications per point")
+                        help="independent replications per point (with "
+                             "--precision: the initial adaptive batch, "
+                             "minimum 2)")
+    parser.add_argument("--precision", type=float, metavar="REL",
+                        help="adaptive replication control: keep adding "
+                             "replications per point until the 95%% CI "
+                             "half-width of the mean response time is "
+                             "within REL of the mean (e.g. 0.05), or "
+                             "--max-replications is reached")
+    parser.add_argument("--max-replications", type=int, default=16,
+                        help="replication cap per point in adaptive mode "
+                             "(default 16; ignored without --precision)")
     parser.add_argument("--seed", type=int, default=7_001,
                         help="base random seed")
     parser.add_argument("--workers", type=int, default=1,
@@ -119,6 +131,18 @@ def _run_figure(figure_id: str, settings: RunSettings,
         print(f"\n[data written to {target}]")
     print(f"\n[{elapsed:.1f}s of wall-clock simulation, "
           f"{workers} worker(s)]")
+    if isinstance(settings, PrecisionSettings):
+        points = [point for curve in figure.curves
+                  for point in curve.points]
+        total = sum(point.n_replications for point in points)
+        grid = len(points) * settings.max_replications
+        met = sum(1 for point in points
+                  if point.rt_relative_half_width <= settings.rel_precision)
+        print(f"[adaptive: {total} replication(s) over {len(points)} "
+              f"point(s) vs {grid} fixed-grid (saved {grid - total}); "
+              f"{met}/{len(points)} point(s) within "
+              f"+/-{settings.rel_precision:.1%} at "
+              f"{settings.confidence:.0%} confidence]")
     if cache is not None:
         print(f"[{cache.stats()}]")
 
@@ -251,8 +275,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return 2
-    settings = RunSettings(replications=args.replications,
-                           base_seed=args.seed, scale=args.scale)
+    if args.precision is not None:
+        if args.precision <= 0:
+            print("error: --precision must be positive", file=sys.stderr)
+            return 2
+        if args.max_replications < 2:
+            print("error: --max-replications must be >= 2",
+                  file=sys.stderr)
+            return 2
+        min_replications = max(2, args.replications)
+        if min_replications > args.max_replications:
+            print("error: --replications (the initial adaptive batch) "
+                  "cannot exceed --max-replications", file=sys.stderr)
+            return 2
+        settings: RunSettings = PrecisionSettings(
+            base_seed=args.seed, scale=args.scale,
+            rel_precision=args.precision,
+            min_replications=min_replications,
+            max_replications=args.max_replications)
+    else:
+        settings = RunSettings(replications=args.replications,
+                               base_seed=args.seed, scale=args.scale)
     workers = args.workers  # 0 -> auto-detect inside ParallelRunner
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if (args.telemetry or args.trace_out) and not args.run:
@@ -312,7 +355,9 @@ def main(argv: list[str] | None = None) -> int:
             warmup_time=20.0 * settings.scale + 5.0,
             measure_time=60.0 * settings.scale + 10.0,
             seed=settings.base_seed,
-            workers=workers, cache=cache)
+            workers=workers, cache=cache,
+            settings=settings if isinstance(settings, PrecisionSettings)
+            else None)
         print(sweep.to_table())
         print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
         if cache is not None:

@@ -49,12 +49,20 @@ __all__ = [
 FIELDS = [
     "figure", "curve", "comm_delay", "total_rate", "mean_response_time",
     "throughput", "shipped_fraction", "abort_rate", "local_utilization",
-    "central_utilization",
+    "central_utilization", "n_replications", "rt_half_width",
+    "rt_relative_half_width",
 ]
 
 
 def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
-    """Flatten one curve into CSV-ready dictionaries."""
+    """Flatten one curve into CSV-ready dictionaries.
+
+    The three precision columns (``n_replications``, ``rt_half_width``,
+    ``rt_relative_half_width``) record how many replications back each
+    point and the achieved cross-replication confidence half-width --
+    constant across a fixed grid, per-point under adaptive replication
+    control.
+    """
     rows = []
     for point in curve.points:
         rows.append({
@@ -68,6 +76,9 @@ def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
             "abort_rate": point.abort_rate,
             "local_utilization": point.local_utilization,
             "central_utilization": point.central_utilization,
+            "n_replications": point.n_replications,
+            "rt_half_width": point.rt_half_width,
+            "rt_relative_half_width": point.rt_relative_half_width,
         })
     return rows
 

@@ -16,6 +16,12 @@ The paper's figures (Section 4.2):
 * **4.5/4.6/4.7** -- the same three studies at 0.5 s delay, where static
   gains shrink, the static shipped-fraction curve gains an inflection,
   and the optimal threshold moves positive-ward.
+
+Every figure accepts either a fixed-grid
+:class:`~repro.experiments.runner.RunSettings` or a
+:class:`~repro.experiments.runner.PrecisionSettings` (adaptive
+replication control: each point runs only as many replications as its
+confidence interval needs -- see :mod:`repro.experiments.adaptive`).
 """
 
 from __future__ import annotations

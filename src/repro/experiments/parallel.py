@@ -22,6 +22,14 @@ while keeping the results **bit-identical** to serial execution:
 
 A :class:`~repro.experiments.cache.ResultCache` can be attached; cached
 jobs are satisfied from disk and only the misses are simulated.
+
+For incremental workloads that submit *rounds* of jobs -- the adaptive
+replication scheduler keeps resubmitting the unconverged points of a
+curve set -- the runner doubles as a context manager: inside a ``with``
+block one process pool stays alive across ``run_jobs`` batches instead
+of being created and torn down per round.  Results are unchanged
+(``execute_job`` is the same function either way); only the pool
+start-up cost is amortised.
 """
 
 from __future__ import annotations
@@ -136,6 +144,30 @@ class ParallelRunner:
         #: lifetime (mirrors the cache's own counters but scoped here).
         self.jobs_cached = 0
         self.jobs_executed = 0
+        self._persistent = False
+        self._pool = None
+        self._pool_unavailable = False
+
+    # -- incremental mode ---------------------------------------------------
+
+    def __enter__(self) -> "ParallelRunner":
+        """Enter incremental mode: one pool survives across batches."""
+        self._persistent = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Leave incremental mode and release the persistent pool."""
+        self._persistent = False
+        self._drop_pool()
+
+    def _drop_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     # -- execution ----------------------------------------------------------
 
@@ -186,21 +218,47 @@ class ParallelRunner:
                 results[index] = execute_job(spec)
         return results  # type: ignore[return-value]
 
-    def _run_pool(self,
-                  specs: list[JobSpec]) -> list[SimulationResult] | None:
-        """Map jobs over a process pool; ``None`` if no pool is possible."""
+    @staticmethod
+    def _make_pool(size: int):
+        """Create a pool on the platform's best start method, or None."""
         import multiprocessing
 
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else (
+            methods[0] if methods else None)
+        if method is None:
+            return None
+        context = multiprocessing.get_context(method)
+        return context.Pool(size)
+
+    def _run_pool(self,
+                  specs: list[JobSpec]) -> list[SimulationResult] | None:
+        """Map jobs over a process pool; ``None`` if no pool is possible.
+
+        In incremental mode (inside a ``with`` block) the pool is
+        created once at full ``workers`` size and reused for every
+        subsequent batch; otherwise a right-sized pool lives for this
+        batch only.
+        """
+        if self._pool_unavailable:
+            return None
         try:
-            methods = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in methods else (
-                methods[0] if methods else None)
-            if method is None:
+            if self._persistent:
+                if self._pool is None:
+                    self._pool = self._make_pool(self.workers)
+                    if self._pool is None:
+                        self._pool_unavailable = True
+                        return None
+                return self._pool.map(execute_job, specs, chunksize=1)
+            pool = self._make_pool(min(self.workers, len(specs)))
+            if pool is None:
+                self._pool_unavailable = True
                 return None
-            context = multiprocessing.get_context(method)
-            with context.Pool(min(self.workers, len(specs))) as pool:
+            with pool:
                 return pool.map(execute_job, specs, chunksize=1)
         except (OSError, ImportError):
             # Platform without working process pools (restricted
             # containers, missing sem_open, ...): degrade to serial.
+            self._pool_unavailable = True
+            self._drop_pool()
             return None

@@ -97,6 +97,14 @@ def figure_report(figure: FigureData) -> str:
     for curve in figure.curves:
         lines.append(f"  {curve.label:<24} "
                      f"{sparkline([metric(p) for p in curve.points])}")
+    if any(point.n_replications > 1
+           for curve in figure.curves for point in curve.points):
+        lines.append("")
+        lines.append("replications per point:")
+        for curve in figure.curves:
+            counts = " ".join(str(point.n_replications)
+                              for point in curve.points)
+            lines.append(f"  {curve.label:<24} {counts}")
     lines.append("")
     lines.append("expected (from the paper):")
     for expectation in figure.expectations:
@@ -105,10 +113,20 @@ def figure_report(figure: FigureData) -> str:
 
 
 def curve_summary(curve: Curve, response_limit: float = 4.0) -> str:
-    """One-line summary: supportable rate and best/worst response time."""
+    """One-line summary: supportable rate and best/worst response time.
+
+    Multi-replication curves append their replication-count range --
+    constant on a fixed grid, spread out under adaptive control.
+    """
     best = min(point.mean_response_time for point in curve.points)
     worst = max(point.mean_response_time for point in curve.points)
     supported = curve.max_supported_rate(response_limit)
-    return (f"{curve.label}: supports {supported:.1f} tps "
+    line = (f"{curve.label}: supports {supported:.1f} tps "
             f"(RT<= {response_limit:g}s), RT range "
             f"[{best:.2f}, {worst:.2f}]s")
+    counts = [point.n_replications for point in curve.points]
+    if max(counts) > 1:
+        spread = (str(counts[0]) if min(counts) == max(counts)
+                  else f"{min(counts)}-{max(counts)}")
+        line += f", reps {spread}"
+    return line

@@ -10,10 +10,20 @@ averages the replications.
 uniformly, so the same experiment definitions serve quick smoke tests
 (scale ~0.2), the default benchmark runs, and long high-confidence runs
 (scale >= 2).
+
+:class:`PrecisionSettings` turns the fixed replication count into a
+*precision target*: passed anywhere a :class:`RunSettings` is accepted
+(figures, curves, points, the sensitivity sweep, the CLI), it switches
+the run into adaptive mode -- replications are scheduled in rounds by
+:mod:`repro.experiments.adaptive` until every point's t-based relative
+confidence half-width reaches the target or a cap.  Replication ``r``
+still always uses ``base_seed + r``, so adaptive runs stay deterministic
+and every replication remains individually cacheable.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -21,11 +31,13 @@ from ..core import STRATEGIES
 from ..hybrid.config import SystemConfig, paper_config
 from ..hybrid.metrics import SimulationResult
 from ..hybrid.system import HybridSystem
+from ..sim.stats import IntervalEstimate, ReplicationSummary
 from .cache import ResultCache
 from .parallel import JobSpec, ParallelRunner
 
-__all__ = ["RunSettings", "CurvePoint", "Curve", "run_point", "run_curve",
-           "run_curve_set", "run_single", "StrategyBuilder"]
+__all__ = ["RunSettings", "PrecisionSettings", "CurvePoint", "Curve",
+           "run_point", "run_curve", "run_curve_set", "run_single",
+           "StrategyBuilder"]
 
 #: ``name -> (config -> RouterFactory)`` -- the registry from repro.core,
 #: re-exported here so experiment definitions read naturally.
@@ -64,8 +76,66 @@ class RunSettings:
 
 
 @dataclass(frozen=True)
+class PrecisionSettings(RunSettings):
+    """Replication control by precision target instead of fixed count.
+
+    Points start with ``min_replications`` replications; while the
+    t-based relative confidence half-width of the mean response time
+    (at ``confidence``) exceeds ``rel_precision``, further rounds of
+    ``round_size`` replications are scheduled, up to
+    ``max_replications`` per point.  ``rel_precision=0.0`` is a valid
+    never-converges target: every point runs exactly to the cap,
+    reproducing the fixed grid ``replications=max_replications``
+    field-for-field.
+
+    The inherited ``replications`` field is ignored in adaptive mode
+    (the scheduler owns the count); the seeds are unchanged --
+    replication ``r`` of a point always uses ``base_seed + r``.
+    """
+
+    rel_precision: float = 0.05
+    confidence: float = 0.95
+    min_replications: int = 2
+    max_replications: int = 16
+    round_size: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.rel_precision) or self.rel_precision < 0:
+            raise ValueError(
+                f"rel_precision must be finite and >= 0, got "
+                f"{self.rel_precision}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}")
+        if self.min_replications < 2:
+            raise ValueError(
+                "min_replications must be >= 2 (variance needs two "
+                f"observations), got {self.min_replications}")
+        if self.max_replications < self.min_replications:
+            raise ValueError(
+                f"max_replications ({self.max_replications}) must be >= "
+                f"min_replications ({self.min_replications})")
+        if self.round_size < 1:
+            raise ValueError(
+                f"round_size must be >= 1, got {self.round_size}")
+
+    def fixed_equivalent(self) -> RunSettings:
+        """The fixed-grid settings this adaptive run is capped by."""
+        return RunSettings(
+            warmup_time=self.warmup_time, measure_time=self.measure_time,
+            replications=self.max_replications, base_seed=self.base_seed,
+            scale=self.scale)
+
+
+@dataclass(frozen=True)
 class CurvePoint:
-    """One (rate, averaged metrics) point of a curve."""
+    """One (rate, averaged metrics) point of a curve.
+
+    ``rt_interval`` is the cross-replication confidence interval of the
+    mean response time, computed **once** during point assembly so the
+    report/export layers can query the achieved precision freely.
+    """
 
     total_rate: float
     mean_response_time: float
@@ -76,16 +146,37 @@ class CurvePoint:
     central_utilization: float
     replications: tuple[SimulationResult, ...] = field(repr=False,
                                                        default=())
+    rt_interval: IntervalEstimate | None = field(repr=False, default=None)
+
+    @property
+    def n_replications(self) -> int:
+        """Replications behind this point (1 for a bare point)."""
+        return len(self.replications) if self.replications else 1
+
+    @property
+    def rt_half_width(self) -> float:
+        """Achieved confidence half-width of the mean response time."""
+        return self.rt_interval.half_width if self.rt_interval else 0.0
+
+    @property
+    def rt_relative_half_width(self) -> float:
+        """Achieved half-width relative to the mean (``inf`` at mean 0)."""
+        if self.rt_interval is not None:
+            return self.rt_interval.relative_half_width
+        return 0.0
 
     def response_time_interval(self, confidence: float = 0.95):
         """Cross-replication confidence interval for the mean RT.
 
         Returns an :class:`~repro.sim.stats.IntervalEstimate`; with a
         single replication the half-width is zero (no variance
-        information).
+        information).  The interval computed during point assembly is
+        memoised in ``rt_interval``, so calls at the assembly confidence
+        are free; other confidence levels are recomputed on the fly.
         """
-        from ..sim.stats import ReplicationSummary
-
+        cached = self.rt_interval
+        if cached is not None and cached.confidence == confidence:
+            return cached
         summary = ReplicationSummary()
         for result in self.replications:
             summary.add_replication(result.mean_response_time)
@@ -145,24 +236,45 @@ def _check_strategy(strategy: str | StrategyBuilder) -> None:
         raise KeyError(strategy)
 
 
+def _replication_spec(strategy: str | StrategyBuilder, total_rate: float,
+                      comm_delay: float, settings: RunSettings,
+                      config_overrides: dict, replication: int,
+                      fault_plan=None) -> JobSpec:
+    """The job for one replication; replication ``r`` seeds
+    ``base_seed + r`` (common random numbers, fixed and adaptive alike).
+    """
+    return JobSpec(strategy=strategy, config=settings.config_for(
+        total_rate, comm_delay,
+        seed=settings.base_seed + replication, **config_overrides),
+        fault_plan=fault_plan)
+
+
 def _point_specs(strategy: str | StrategyBuilder, total_rate: float,
                  comm_delay: float, settings: RunSettings,
                  config_overrides: dict,
                  fault_plan=None) -> list[JobSpec]:
-    """One job per replication; replication ``r`` seeds ``base_seed + r``."""
+    """One job per replication of the fixed grid."""
     return [
-        JobSpec(strategy=strategy, config=settings.config_for(
-            total_rate, comm_delay,
-            seed=settings.base_seed + replication, **config_overrides),
-            fault_plan=fault_plan)
+        _replication_spec(strategy, total_rate, comm_delay, settings,
+                          config_overrides, replication,
+                          fault_plan=fault_plan)
         for replication in range(settings.replications)
     ]
 
 
 def _assemble_point(total_rate: float,
-                    results: Sequence[SimulationResult]) -> CurvePoint:
-    """Average one rate's replications into a curve point."""
+                    results: Sequence[SimulationResult],
+                    confidence: float = 0.95) -> CurvePoint:
+    """Average one rate's replications into a curve point.
+
+    The cross-replication interval is computed here, once, and stored on
+    the point (``rt_interval``) so downstream report/export code never
+    rebuilds the accumulator.
+    """
     results = list(results)
+    summary = ReplicationSummary()
+    for result in results:
+        summary.add_replication(result.mean_response_time)
     return CurvePoint(
         total_rate=total_rate,
         mean_response_time=_average(
@@ -175,6 +287,7 @@ def _assemble_point(total_rate: float,
         central_utilization=_average(
             [r.mean_central_utilization for r in results]),
         replications=tuple(results),
+        rt_interval=summary.interval(confidence),
     )
 
 
@@ -190,10 +303,21 @@ def run_point(strategy: str | StrategyBuilder, total_rate: float,
     ``workers`` > 1 fans the replications out over a process pool;
     ``cache`` reuses previously simulated results.  Both leave the
     returned point bit-identical to a serial, uncached run.  Passing a
-    ``fault_plan`` injects its episodes into every replication.
+    ``fault_plan`` injects its episodes into every replication.  A
+    :class:`PrecisionSettings` switches the point into adaptive mode:
+    replications are added in rounds until the precision target (or the
+    cap) is reached.
     """
     settings = settings or RunSettings()
     _check_strategy(strategy)
+    if isinstance(settings, PrecisionSettings):
+        from .adaptive import run_adaptive_curve_set
+
+        outcome = run_adaptive_curve_set(
+            [(strategy, "point", [total_rate])], comm_delay=comm_delay,
+            settings=settings, workers=workers, cache=cache,
+            fault_plan=fault_plan, **config_overrides)
+        return outcome.curves[0].points[0]
     runner = ParallelRunner(workers=workers, cache=cache)
     specs = _point_specs(strategy, total_rate, comm_delay, settings,
                          config_overrides, fault_plan=fault_plan)
@@ -258,8 +382,19 @@ def run_curve_set(entries: Sequence[tuple[str | StrategyBuilder, str,
     saturated across strategies instead of joining between curves.
     Results are reassembled strictly in submission order, so the output
     is bit-identical to running each curve serially.
+
+    With a :class:`PrecisionSettings` the whole set runs adaptively:
+    rounds of replications are submitted across *all* unconverged
+    points at once (pool stays saturated while converged points drop
+    out) until every point meets the precision target or its cap.
     """
     settings = settings or RunSettings()
+    if isinstance(settings, PrecisionSettings):
+        from .adaptive import run_adaptive_curve_set
+
+        return list(run_adaptive_curve_set(
+            entries, comm_delay=comm_delay, settings=settings,
+            workers=workers, cache=cache, **config_overrides).curves)
     specs: list[JobSpec] = []
     layout: list[tuple[str | StrategyBuilder, str, list[float],
                        list[int]]] = []

@@ -15,14 +15,16 @@ dataclasses so tests can assert the direction of every dependency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..core import optimize_static
 from ..hybrid.config import SystemConfig, paper_config
+from ..sim.stats import ReplicationSummary
 from .cache import ResultCache
 from .parallel import JobSpec, ParallelRunner
 from .report import format_table
+from .runner import PrecisionSettings
 
 __all__ = ["SensitivityPoint", "SensitivitySweep", "sweep_parameter"]
 
@@ -40,13 +42,20 @@ DEFAULT_SWEEPS: dict[str, tuple[float, ...]] = {
 
 @dataclass(frozen=True)
 class SensitivityPoint:
-    """One parameter setting: strategy outcomes plus the static optimum."""
+    """One parameter setting: strategy outcomes plus the static optimum.
+
+    ``replication_counts`` / ``rt_half_widths`` are filled whenever the
+    sweep runs more than one replication per cell (fixed or adaptive);
+    single-run sweeps leave them empty.
+    """
 
     parameter: str
     value: float
     optimal_p_ship: float
     response_times: dict[str, float]
     shipped_fractions: dict[str, float]
+    replication_counts: dict[str, int] = field(default_factory=dict)
+    rt_half_widths: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -105,12 +114,22 @@ def sweep_parameter(parameter: str, values: Sequence[float],
                     measure_time: float = 60.0,
                     seed: int = 11_011,
                     workers: int | None = 1,
-                    cache: ResultCache | None = None) -> SensitivitySweep:
+                    cache: ResultCache | None = None,
+                    settings=None) -> SensitivitySweep:
     """Sweep one parameter; everything else stays at the paper's base.
 
     Every (setting, strategy) simulation is independent, so the whole
     grid runs as one :class:`ParallelRunner` batch; ``workers`` > 1
     fans it over a process pool and ``cache`` reuses completed cells.
+
+    ``settings`` controls *replications only* (the horizon stays with
+    the explicit ``warmup_time``/``measure_time`` arguments): a plain
+    :class:`~repro.experiments.runner.RunSettings` runs its fixed
+    ``replications`` per cell (replication ``r`` seeded ``seed + r``);
+    a :class:`~repro.experiments.runner.PrecisionSettings` schedules
+    replications adaptively per cell until the precision target or cap
+    is reached.  ``None`` (the default) keeps the historical single-run
+    behaviour -- and its cache keys, since replication 0 seeds ``seed``.
     """
     configs = []
     for value in values:
@@ -119,10 +138,36 @@ def sweep_parameter(parameter: str, values: Sequence[float],
                             measure_time=measure_time, seed=seed)
         configs.append(_configure(parameter, value, base))
 
-    specs = [JobSpec(strategy=name, config=config)
+    cells = [(config, name)
              for config in configs
              for name in REFERENCE_STRATEGIES]
-    results = ParallelRunner(workers=workers, cache=cache).run_jobs(specs)
+    runner = ParallelRunner(workers=workers, cache=cache)
+
+    if isinstance(settings, PrecisionSettings):
+        from .adaptive import schedule_adaptive
+
+        def cell_factory(name, config):
+            def make(replication: int) -> JobSpec:
+                return JobSpec(strategy=name, config=config.with_options(
+                    seed=seed + replication))
+            return make
+
+        outcomes, _ = schedule_adaptive(
+            [cell_factory(name, config) for config, name in cells],
+            settings, runner)
+        cell_results = [list(outcome.results) for outcome in outcomes]
+        cell_half_widths = [outcome.interval.half_width
+                            for outcome in outcomes]
+    else:
+        reps = settings.replications if settings is not None else 1
+        specs = [JobSpec(strategy=name, config=config.with_options(
+                    seed=seed + replication))
+                 for config, name in cells
+                 for replication in range(reps)]
+        flat = runner.run_jobs(specs)
+        cell_results = [flat[index * reps:(index + 1) * reps]
+                        for index in range(len(cells))]
+        cell_half_widths = None
 
     points = []
     cursor = 0
@@ -130,14 +175,29 @@ def sweep_parameter(parameter: str, values: Sequence[float],
         optimum = optimize_static(config)
         response_times = {}
         shipped_fractions = {}
+        replication_counts = {}
+        rt_half_widths = {}
         for name in REFERENCE_STRATEGIES:
-            result = results[cursor]
+            results = cell_results[cursor]
+            response_times[name] = (
+                sum(r.mean_response_time for r in results) / len(results))
+            shipped_fractions[name] = (
+                sum(r.shipped_fraction for r in results) / len(results))
+            if len(results) > 1:
+                replication_counts[name] = len(results)
+                if cell_half_widths is not None:
+                    rt_half_widths[name] = cell_half_widths[cursor]
+                else:
+                    summary = ReplicationSummary()
+                    for result in results:
+                        summary.add_replication(result.mean_response_time)
+                    rt_half_widths[name] = summary.interval().half_width
             cursor += 1
-            response_times[name] = result.mean_response_time
-            shipped_fractions[name] = result.shipped_fraction
         points.append(SensitivityPoint(
             parameter=parameter, value=float(value),
             optimal_p_ship=optimum.p_ship,
             response_times=response_times,
-            shipped_fractions=shipped_fractions))
+            shipped_fractions=shipped_fractions,
+            replication_counts=replication_counts,
+            rt_half_widths=rt_half_widths))
     return SensitivitySweep(parameter=parameter, points=tuple(points))

@@ -227,10 +227,15 @@ class BatchMeans:
             raise ValueError(
                 f"only {n} observations for {self.n_batches} batches")
         size = n // self.n_batches
-        return [
-            sum(self._values[i * size:(i + 1) * size]) / size
-            for i in range(self.n_batches)
-        ]
+        averages = []
+        for index in range(self.n_batches):
+            start = index * size
+            # The last batch absorbs the n % n_batches remainder, so no
+            # observation is ever silently discarded.
+            end = start + size if index < self.n_batches - 1 else n
+            chunk = self._values[start:end]
+            averages.append(sum(chunk) / len(chunk))
+        return averages
 
     def interval(self, confidence: float = 0.95) -> IntervalEstimate:
         batches = self.batch_averages()
@@ -241,21 +246,33 @@ class BatchMeans:
 
 
 class ReplicationSummary:
-    """Cross-replication estimator: one observation per independent run."""
+    """Cross-replication estimator: one observation per independent run.
+
+    :meth:`interval` is memoised per confidence level (the adaptive
+    replication scheduler and the report layer both query it repeatedly
+    between additions); adding a replication invalidates the cache.
+    """
 
     def __init__(self) -> None:
         self._per_rep: list[float] = []
+        self._intervals: dict[float, IntervalEstimate] = {}
 
     def add_replication(self, value: float) -> None:
         self._per_rep.append(value)
+        self._intervals.clear()
 
     @property
     def replications(self) -> Sequence[float]:
         return tuple(self._per_rep)
 
     def interval(self, confidence: float = 0.95) -> IntervalEstimate:
+        cached = self._intervals.get(confidence)
+        if cached is not None:
+            return cached
         stat = RunningStat()
         stat.extend(self._per_rep)
         half = _t_half_width(stat.std if stat.std == stat.std else 0.0,
                              stat.count, confidence)
-        return IntervalEstimate(stat.mean, half, confidence, stat.count)
+        estimate = IntervalEstimate(stat.mean, half, confidence, stat.count)
+        self._intervals[confidence] = estimate
+        return estimate

@@ -78,6 +78,46 @@ def test_running_stat_merge_empty():
     assert a.merge(b).count == 0
 
 
+def test_running_stat_merge_empty_with_nonempty():
+    """empty ⊕ non-empty must equal the non-empty side (both orders)."""
+    empty = RunningStat()
+    filled = RunningStat()
+    filled.extend([2.0, 4.0, 9.0])
+    for merged in (empty.merge(filled), filled.merge(empty)):
+        assert merged.count == 3
+        assert merged.mean == pytest.approx(5.0)
+        assert merged.variance == pytest.approx(filled.variance)
+        assert merged.minimum == 2.0
+        assert merged.maximum == 9.0
+
+
+def test_running_stat_merge_propagates_min_and_max():
+    a = RunningStat()
+    a.extend([5.0, 7.0])
+    b = RunningStat()
+    b.extend([-3.0, 6.0])
+    merged = a.merge(b)
+    assert merged.minimum == -3.0
+    assert merged.maximum == 7.0
+    # Merging is symmetric in the extremes.
+    other = b.merge(a)
+    assert other.minimum == -3.0 and other.maximum == 7.0
+
+
+def test_running_stat_merge_two_singletons_variance():
+    """Two one-observation accumulators merge into a valid 2-sample."""
+    a = RunningStat()
+    a.add(1.0)
+    assert math.isnan(a.variance)  # single observation: undefined
+    b = RunningStat()
+    b.add(3.0)
+    merged = a.merge(b)
+    assert merged.count == 2
+    assert merged.mean == pytest.approx(2.0)
+    assert merged.variance == pytest.approx(2.0)  # ((1-2)^2+(3-2)^2)/1
+    assert merged.std == pytest.approx(math.sqrt(2.0))
+
+
 def test_interval_zero_variance_has_zero_half_width():
     stat = RunningStat()
     stat.extend([3.0] * 10)
@@ -159,6 +199,26 @@ def test_time_weighted_peak():
     assert tw.peak == 7.0
 
 
+def test_time_weighted_reset_drops_old_peak_to_current_level():
+    """After reset the peak restarts from the *current* level, so a
+    pre-reset spike can never leak into post-warm-up statistics."""
+    tw = TimeWeightedStat()
+    tw.record(1.0, 9.0)   # warm-up spike
+    tw.record(2.0, 2.0)
+    tw.reset(2.0)
+    assert tw.peak == 2.0
+    tw.record(3.0, 5.0)
+    assert tw.peak == 5.0  # new peaks still tracked after reset
+
+
+def test_time_weighted_reset_keeps_level_and_restarts_integral():
+    tw = TimeWeightedStat()
+    tw.record(4.0, 6.0)
+    tw.reset(4.0)
+    assert tw.level == 6.0
+    assert tw.mean(8.0) == pytest.approx(6.0)  # only post-reset history
+
+
 @given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=10,
                                     allow_nan=False),
                           st.floats(min_value=0, max_value=100,
@@ -206,6 +266,27 @@ def test_batch_averages_partition():
     assert bm.batch_averages() == [2.0, 6.0]
 
 
+def test_batch_averages_remainder_folded_into_last_batch():
+    """Regression: the trailing n % n_batches observations used to be
+    silently discarded; they must contribute to the last batch."""
+    bm = BatchMeans(n_batches=2)
+    bm.extend([0.0] * 10 + [110.0])  # 11 observations, remainder 1
+    averages = bm.batch_averages()
+    assert len(averages) == 2
+    assert averages[0] == 0.0
+    # Last batch holds 6 observations: five zeros plus the 110 spike.
+    assert averages[1] == pytest.approx(110.0 / 6.0)
+    # The interval's point estimate sees the spike too (pinned value).
+    assert bm.interval().mean == pytest.approx(110.0 / 12.0)
+
+
+def test_batch_averages_remainder_pinned_estimate():
+    bm = BatchMeans(n_batches=3)
+    bm.extend(list(range(10)))  # batches [0,1,2], [3,4,5], [6,7,8,9]
+    assert bm.batch_averages() == [1.0, 4.0, 7.5]
+    assert bm.interval().mean == pytest.approx((1.0 + 4.0 + 7.5) / 3.0)
+
+
 def test_replication_summary():
     rep = ReplicationSummary()
     for value in (10.0, 12.0, 11.0, 9.0):
@@ -220,6 +301,21 @@ def test_replication_single_run_zero_half_width():
     rep = ReplicationSummary()
     rep.add_replication(5.0)
     assert rep.interval().half_width == 0.0
+
+
+def test_replication_interval_memoised_per_confidence():
+    rep = ReplicationSummary()
+    for value in (1.0, 2.0, 3.0):
+        rep.add_replication(value)
+    first = rep.interval(0.95)
+    assert rep.interval(0.95) is first          # cached object returned
+    other = rep.interval(0.99)
+    assert other is not first
+    assert other.half_width > first.half_width  # wider at 99%
+    rep.add_replication(4.0)                    # invalidates the cache
+    refreshed = rep.interval(0.95)
+    assert refreshed is not first
+    assert refreshed.n == 4
 
 
 # ---------------------------------------------------------------------------
