@@ -17,6 +17,7 @@ __all__ = [
     "mm1_expansion",
     "mm1_mean_number",
     "mm1_response_time",
+    "md1_response_time",
     "utilization_from_queue_length",
     "utilization_from_population",
 ]
@@ -50,6 +51,21 @@ def mm1_response_time(service_time: float, rho: float) -> float:
     if service_time < 0:
         raise ValueError("negative service time")
     return service_time * mm1_expansion(rho)
+
+
+def md1_response_time(service_time: float, rho: float) -> float:
+    """Mean response time of an M/D/1 queue (Pollaczek-Khinchine).
+
+    The simulator's CPU service times are deterministic pathlengths (the
+    paper stresses they are *not* exponential), so in a degenerate
+    single-burst regime a site is exactly an M/D/1 FCFS queue:
+    ``R = S + rho * S / (2 * (1 - rho))``.  Used by the verification
+    oracles (:mod:`repro.verify.oracle`) as an exact analytic prediction.
+    """
+    if service_time < 0:
+        raise ValueError("negative service time")
+    rho = clamp_utilization(rho)
+    return service_time * (1.0 + rho / (2.0 * (1.0 - rho)))
 
 
 def utilization_from_queue_length(queue_length: float,

@@ -10,6 +10,7 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --figure 4.3 --csv fig43.csv
     hybriddb-experiment --figure 4.1 --no-cache
     hybriddb-experiment --validate
+    hybriddb-experiment --verify
     hybriddb-experiment --list
     hybriddb-experiment --run queue-length --rate 35 \\
         --telemetry run.csv --trace-out run.jsonl
@@ -50,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate", action="store_true",
                         help="run the analytic-model-vs-simulator "
                              "validation grid")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the correctness-verification quick "
+                             "suite (equivalent to hybriddb-verify "
+                             "--quick) and exit")
     parser.add_argument("--scorecard", action="store_true",
                         help="regenerate every figure and machine-check "
                              "all of the paper's claims")
@@ -266,6 +271,10 @@ def main(argv: list[str] | None = None) -> int:
             doc = (builder.__doc__ or "").strip().splitlines()[0]
             print(f"  {figure_id}: {doc}")
         return 0
+    if args.verify:
+        from ..verify.cli import main as verify_main
+
+        return verify_main(["--quick"])
     if args.scale <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2

@@ -24,7 +24,7 @@ figures need is gathered here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 from ..db.transaction import (
@@ -162,6 +162,39 @@ class SimulationResult:
         if denominator == 0:
             return 1.0
         return self.completed / denominator
+
+    #: Fields that legitimately differ between two otherwise identical
+    #: runs (wall-clock timing) -- always excluded from identity
+    #: comparisons.
+    TIMING_FIELDS = ("wall_clock_seconds", "engine_events_per_sec")
+    #: Engine-profile fields: identical for byte-for-byte duplicate runs,
+    #: but different when a run carries extra *observer* processes (the
+    #: invariant checker's audit loop schedules its own timeouts).
+    PROFILE_FIELDS = ("engine_events", "engine_heap_peak")
+
+    def identity_dict(self, *, include_profile: bool = True,
+                      include_strategy: bool = True) -> dict:
+        """Deep dict of every deterministic field, for bit-identity checks.
+
+        Two runs that followed the same sample path produce equal
+        ``identity_dict()`` values; wall-clock-dependent fields are always
+        dropped.  ``include_profile=False`` additionally drops the engine
+        event/heap counters (use when one run carries read-only observer
+        processes); ``include_strategy=False`` drops the strategy label
+        (use when comparing differently-named but semantically forced
+        routings, e.g. ``static(p=0)`` against ``no-load-sharing``).
+        Used by :mod:`repro.verify.differential` and
+        :mod:`repro.verify.metamorphic`.
+        """
+        data = asdict(self)
+        for name in self.TIMING_FIELDS:
+            data.pop(name, None)
+        if not include_profile:
+            for name in self.PROFILE_FIELDS:
+                data.pop(name, None)
+        if not include_strategy:
+            data.pop("strategy", None)
+        return data
 
     @property
     def decomposition_residual(self) -> float:

@@ -22,10 +22,13 @@ log.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-__all__ = ["TraceRecord", "Tracer", "NullTracer", "make_tracer"]
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "make_tracer",
+           "TraceDigest"]
 
 
 @dataclass(frozen=True)
@@ -126,6 +129,42 @@ class NullTracer:
 
     def dump(self) -> str:
         return ""
+
+
+class TraceDigest:
+    """Streaming SHA-256 fingerprint of a trace (a :class:`Tracer` sink).
+
+    Records are hashed in their canonical JSON form (sorted keys, times
+    rounded to nanosecond-scale precision so the digest is insensitive to
+    sub-rounding float-repr noise but still pins the full event stream).
+    Because sinks see *every* record -- including those dropped from the
+    in-memory buffer -- the digest covers the complete run even with a
+    small ``max_records``.  Used by the golden-trace regression checks
+    (:mod:`repro.verify.golden`).
+    """
+
+    #: Decimal places timestamps / float payloads are rounded to.
+    PRECISION = 9
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.records = 0
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.records += 1
+        payload = {"time": round(record.time, self.PRECISION),
+                   "kind": record.kind}
+        for key, value in record.details.items():
+            if isinstance(value, float):
+                value = round(value, self.PRECISION)
+            payload[key] = value
+        self._hash.update(json.dumps(payload, sort_keys=True,
+                                     default=str).encode("utf-8"))
+        self._hash.update(b"\n")
+
+    def hexdigest(self) -> str:
+        """Digest over every record seen so far."""
+        return self._hash.hexdigest()
 
 
 def make_tracer(enabled: bool = False, *,

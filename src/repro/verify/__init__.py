@@ -1,0 +1,43 @@
+"""Correctness-verification subsystem: executable correctness beliefs.
+
+The repo's load-bearing layers (DES kernel, hybrid protocol, analytic
+model, experiment runner) must keep agreeing with each other and with
+the paper's model across refactors.  This package turns those agreement
+beliefs into four families of runnable checks, wired into pytest
+(``tests/test_verify_*.py``) and the ``hybriddb-verify`` CLI:
+
+* :mod:`repro.verify.oracle` -- **analytic oracles**: run the simulator
+  in degenerate regimes (single site, no collisions, no I/O) and assert
+  convergence to M/D/1 / Little's-law / utilisation-law / fixed-point
+  predictions within confidence-interval tolerances.
+* :mod:`repro.verify.metamorphic` -- **metamorphic relations**: declare
+  a config transform plus the expected result relation (bit-identity or
+  bounded drift) and check it on paired runs.
+* :mod:`repro.verify.golden` -- **golden-trace regression**: canonical
+  run fingerprints (event counts, response-time summaries, trace digest)
+  pinned in ``tests/golden/*.json`` with diff-style failure reports and
+  deterministic ``--update-golden`` regeneration.
+* :mod:`repro.verify.differential` -- **differential runs**: paired
+  executions that must agree field-for-field (checker-attached vs bare,
+  tracer-attached vs null, degenerate class-B-mode overlap) or within
+  an analytic tolerance (distributed model vs simulated remote calls).
+
+See ``docs/TESTING.md`` for the test taxonomy and how the families fit
+together.
+"""
+
+from .base import CheckResult, VerifySettings, registry
+from .differential import DIFFERENTIAL_PAIRS
+from .golden import GOLDEN_SCENARIOS
+from .metamorphic import RELATIONS
+from .oracle import ORACLES
+
+__all__ = [
+    "CheckResult",
+    "VerifySettings",
+    "registry",
+    "ORACLES",
+    "RELATIONS",
+    "GOLDEN_SCENARIOS",
+    "DIFFERENTIAL_PAIRS",
+]

@@ -1,0 +1,175 @@
+"""``hybriddb-verify``: run the correctness-verification suite.
+
+Examples::
+
+    hybriddb-verify --list             # enumerate every check
+    hybriddb-verify --quick            # shortened horizons, all checks
+    hybriddb-verify --only md1-response-time --only golden-baseline-none
+    hybriddb-verify --kind oracle      # one family only
+    hybriddb-verify --update-golden    # regenerate tests/golden/*.json
+
+Exit status is 0 when every selected check passes, 1 otherwise.  The
+same registries back the pytest wiring (``tests/test_verify_*.py``), so
+the CLI and the test suite can never drift apart on what is checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .base import Check, CheckResult, VerifySettings
+from .differential import DIFFERENTIAL_PAIRS
+from .golden import GOLDEN_DIR_ENV, GOLDEN_SCENARIOS, update_goldens
+from .metamorphic import RELATIONS
+from .oracle import ORACLES
+
+__all__ = ["main", "all_checks", "run_selected"]
+
+#: Horizon scale used by ``--quick`` (goldens pin their own horizons and
+#: are unaffected).
+QUICK_SCALE = 0.5
+
+KINDS = ("oracle", "relation", "golden", "differential")
+
+
+def all_checks() -> dict[str, Check]:
+    """Every registered check, name-keyed (names are globally unique)."""
+    combined: dict[str, Check] = {}
+    for family in (ORACLES, RELATIONS, GOLDEN_SCENARIOS,
+                   DIFFERENTIAL_PAIRS):
+        for name, check in family.items():
+            if name in combined:
+                raise ValueError(f"duplicate check name {name!r}")
+            combined[name] = check
+    return combined
+
+
+def _select(names: list[str] | None, kinds: list[str] | None) -> list[Check]:
+    checks = all_checks()
+    if names:
+        unknown = [name for name in names if name not in checks]
+        if unknown:
+            raise SystemExit(
+                f"unknown check(s): {', '.join(unknown)} "
+                f"(see hybriddb-verify --list)")
+        selected = [checks[name] for name in names]
+    else:
+        selected = list(checks.values())
+    if kinds:
+        selected = [check for check in selected if check.kind in kinds]
+    order = {kind: index for index, kind in enumerate(KINDS)}
+    return sorted(selected, key=lambda c: (order[c.kind], c.name))
+
+
+def run_selected(checks: list[Check],
+                 settings: VerifySettings,
+                 stream=None) -> list[CheckResult]:
+    """Run checks in order, reporting each as it finishes."""
+    stream = stream or sys.stdout
+    results = []
+    for check in checks:
+        result = check.run(settings)
+        results.append(result)
+        print(f"{result.status:4s} [{result.kind:>12s}] "
+              f"{result.name:<28s} ({result.elapsed:6.1f}s)", file=stream)
+        if not result.passed:
+            for line in result.details.splitlines():
+                print(f"       {line}", file=stream)
+    return results
+
+
+def _list_checks(stream=None) -> None:
+    stream = stream or sys.stdout
+    checks = _select(None, None)
+    current_kind = None
+    for check in checks:
+        if check.kind != current_kind:
+            current_kind = check.kind
+            print(f"\n{current_kind}s:", file=stream)
+        print(f"  {check.name:<28s} {check.description}", file=stream)
+    print(f"\n{len(checks)} check(s) registered", file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hybriddb-verify",
+        description="Run the correctness-verification suite: analytic "
+                    "oracles, metamorphic relations, golden-trace "
+                    "fingerprints, and differential run pairs.")
+    parser.add_argument("--list", action="store_true",
+                        help="enumerate the registered checks and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"shorten simulated horizons (scale "
+                             f"{QUICK_SCALE}); goldens are unaffected")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="regenerate the golden fingerprint files "
+                             "and exit")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="run only the named check (repeatable)")
+    parser.add_argument("--kind", action="append", choices=KINDS,
+                        help="run only checks of this family "
+                             "(repeatable)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed for the simulated checks "
+                             "(goldens pin their own seeds)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="explicit horizon scale (overrides --quick)")
+    parser.add_argument("--golden-dir", metavar="DIR", default=None,
+                        help="directory for golden files (default: the "
+                             "repo's tests/golden)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.golden_dir:
+        os.environ[GOLDEN_DIR_ENV] = args.golden_dir
+
+    if args.list:
+        _list_checks()
+        return 0
+
+    if args.update_golden:
+        written = update_goldens(names=[
+            name.removeprefix("golden-") for name in (args.only or [])
+        ] or None)
+        for path in written:
+            print(f"wrote {path}")
+        if not written:
+            print("no golden scenarios matched", file=sys.stderr)
+            return 1
+        return 0
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    elif args.quick:
+        overrides["scale"] = QUICK_SCALE
+    settings = VerifySettings(**overrides)
+
+    try:
+        checks = _select(args.only, args.kind)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not checks:
+        print("no checks selected", file=sys.stderr)
+        return 2
+
+    print(f"running {len(checks)} check(s) "
+          f"(seed={settings.seed}, scale={settings.scale:g})")
+    results = run_selected(checks, settings)
+    failed = [result for result in results if not result.passed]
+    total_time = sum(result.elapsed for result in results)
+    print(f"\n{len(results)} check(s) in {total_time:.1f}s: "
+          f"{len(results) - len(failed)} passed, {len(failed)} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Structure flattening and diff reporting for paired-run comparisons.
+
+Bit-identity checks compare deep ``SimulationResult.identity_dict()``
+structures; when they disagree the raw ``!=`` is useless for debugging.
+:func:`flatten` turns a nested dict/tuple/dataclass-dump structure into
+one flat ``path -> scalar`` mapping and :func:`diff` renders the
+discrepancies as readable ``path: left != right`` lines -- the same
+diff-style report the golden checks use against their stored JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Iterable
+
+__all__ = ["flatten", "diff", "format_diff"]
+
+#: Failure reports list at most this many differing paths.
+MAX_REPORTED = 25
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)
+
+
+def flatten(value: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten nested dicts/sequences into ``dotted.path -> scalar``.
+
+    Dict keys (including enum keys from ``dataclasses.asdict`` dumps)
+    are stringified; list/tuple elements get numeric path components.
+    Scalars (including ``None`` and strings) are kept as-is.
+    """
+    flat: dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key, item in value.items():
+            path = f"{prefix}.{_key_str(key)}" if prefix else _key_str(key)
+            flat.update(flatten(item, path))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            path = f"{prefix}[{index}]"
+            flat.update(flatten(item, path))
+        if not value:
+            flat[prefix or "<root>"] = type(value)()
+    else:
+        flat[prefix or "<root>"] = value
+    return flat
+
+
+def _equal(left: Any, right: Any, rel_tolerance: float) -> bool:
+    if isinstance(left, float) and isinstance(right, float):
+        if math.isnan(left) and math.isnan(right):
+            return True
+        if rel_tolerance > 0:
+            return math.isclose(left, right, rel_tol=rel_tolerance,
+                                abs_tol=rel_tolerance * 1e-9)
+        return left == right
+    return left == right
+
+
+def diff(left: Any, right: Any, *, rel_tolerance: float = 0.0,
+         labels: tuple[str, str] = ("left", "right")) -> list[str]:
+    """Readable discrepancy lines between two nested structures.
+
+    ``rel_tolerance = 0`` demands bit-identity on floats (NaN == NaN, so
+    an unmeasured statistic on both sides is not a discrepancy); a
+    positive tolerance allows bounded relative drift.  Returns an empty
+    list when the structures agree.
+    """
+    flat_left = flatten(left)
+    flat_right = flatten(right)
+    lines: list[str] = []
+    for path in sorted(set(flat_left) | set(flat_right)):
+        if path not in flat_left:
+            lines.append(f"{path}: missing in {labels[0]} "
+                         f"({labels[1]}={flat_right[path]!r})")
+        elif path not in flat_right:
+            lines.append(f"{path}: missing in {labels[1]} "
+                         f"({labels[0]}={flat_left[path]!r})")
+        elif not _equal(flat_left[path], flat_right[path], rel_tolerance):
+            lines.append(f"{path}: {labels[0]}={flat_left[path]!r} != "
+                         f"{labels[1]}={flat_right[path]!r}")
+    return lines
+
+
+def format_diff(lines: Iterable[str], *, limit: int = MAX_REPORTED) -> str:
+    """Join diff lines, truncating very long reports."""
+    lines = list(lines)
+    shown = lines[:limit]
+    if len(lines) > limit:
+        shown.append(f"... and {len(lines) - limit} more difference(s)")
+    return "\n".join(shown)

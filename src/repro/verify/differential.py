@@ -1,0 +1,172 @@
+"""Differential runs: paired executions that must agree.
+
+Each differential pair runs the system twice under configurations that
+are *semantically equivalent* -- observers attached or not, a degenerate
+config expressed two ways -- and demands field-for-field agreement of
+the deterministic results; one pair instead cross-checks the simulator
+against the closed-form distributed-mode model within an analytic
+tolerance.
+
+Built-in pairs:
+
+``tracer-vs-null``          a streaming tracer is purely observational:
+                            attaching one must not perturb the sample
+                            path (full identity, engine profile
+                            included);
+``checker-vs-bare``         the invariant checker's hooks and audit loop
+                            are read-only: every metric must match a
+                            bare run (profile excluded -- the audit loop
+                            schedules its own timeouts);
+``class-b-mode-degenerate`` with no class B transactions the
+                            ``central`` and ``remote-call`` execution
+                            modes are the same system (full identity);
+``distributed-model-overlap`` at low load the simulated remote-call
+                            class B response time must match
+                            :class:`~repro.core.distributed_model.DistributedModel`
+                            within tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core import STRATEGIES
+from ..core.distributed_model import DistributedModel
+from ..db.transaction import TransactionClass
+from ..experiments.runner import RunSettings, run_single
+from ..hybrid.system import HybridSystem
+from ..sim.trace import Tracer
+from .base import Check, VerifySettings, registry
+from .compare import diff, format_diff
+
+__all__ = ["DIFFERENTIAL_PAIRS", "run_differential"]
+
+#: Load of the identity pairs: hot enough that routing, collisions and
+#: update propagation all run, so "identical" is a strong statement.
+PAIR_STRATEGY = "queue-length"
+PAIR_RATE = 18.0
+
+#: Relative tolerance of the model-overlap pair.  The closed form
+#: ignores lock waits, so it is only exact in the low-load limit; the
+#: pair runs at low load where the residual contention is small.
+MODEL_OVERLAP_TOLERANCE = 0.15
+MODEL_OVERLAP_RATE = 4.0
+
+
+def _run_settings(settings: VerifySettings) -> RunSettings:
+    return RunSettings(warmup_time=10.0 * settings.scale,
+                       measure_time=60.0 * settings.scale,
+                       base_seed=settings.seed)
+
+
+def _report_identity(label_a: str, label_b: str, lines: list[str],
+                     reference) -> tuple[bool, str]:
+    if lines:
+        return False, (f"{label_a} vs {label_b}: {len(lines)} field(s) "
+                       f"differ\n" + format_diff(lines))
+    return True, (f"{label_a} == {label_b} field-for-field "
+                  f"({reference.completed} completion(s), "
+                  f"mean RT {reference.mean_response_time:.4f}s)")
+
+
+def _check_tracer_vs_null(settings: VerifySettings) -> tuple[bool, str]:
+    run = _run_settings(settings)
+    bare = run_single(PAIR_STRATEGY, PAIR_RATE, settings=run)
+    # A sink-less zero-buffer tracer still exercises every emit path.
+    traced = run_single(PAIR_STRATEGY, PAIR_RATE, settings=run,
+                        tracer=Tracer(max_records=0))
+    lines = diff(bare.identity_dict(), traced.identity_dict(),
+                 labels=("null-tracer", "tracer"))
+    return _report_identity("null tracer", "attached tracer", lines, bare)
+
+
+def _check_checker_vs_bare(settings: VerifySettings) -> tuple[bool, str]:
+    from ..hybrid.checker import attach_checker
+
+    run = _run_settings(settings)
+    bare = run_single(PAIR_STRATEGY, PAIR_RATE, settings=run)
+    config = run.config_for(PAIR_RATE, 0.2, seed=run.base_seed)
+    system = HybridSystem(config, STRATEGIES[PAIR_STRATEGY](config))
+    checker = attach_checker(system)
+    checked = system.run()
+    lines = diff(bare.identity_dict(include_profile=False),
+                 checked.identity_dict(include_profile=False),
+                 labels=("bare", "checker"))
+    passed, details = _report_identity("bare run", "checker-attached run",
+                                       lines, bare)
+    if passed:
+        details += (f"; checker audited {checker.stats.audits} time(s), "
+                    f"verified {checker.stats.completions_checked} "
+                    f"completion(s)")
+    return passed, details
+
+
+def _check_class_b_mode_degenerate(
+        settings: VerifySettings) -> tuple[bool, str]:
+    run = _run_settings(settings)
+    results = []
+    for mode in ("central", "remote-call"):
+        config = run.config_for(PAIR_RATE, 0.2)
+        workload = replace(config.workload, p_local=1.0)
+        results.append(run_single(PAIR_STRATEGY, PAIR_RATE, settings=run,
+                                  workload=workload, class_b_mode=mode))
+    central, remote = results
+    lines = diff(central.identity_dict(), remote.identity_dict(),
+                 labels=("central", "remote-call"))
+    return _report_identity("class-B central mode",
+                            "class-B remote-call mode (no class B)",
+                            lines, central)
+
+
+def _check_distributed_model_overlap(
+        settings: VerifySettings) -> tuple[bool, str]:
+    run = _run_settings(settings)
+    p_b_local = 0.5
+    config = run.config_for(MODEL_OVERLAP_RATE, 0.2,
+                            class_b_mode="remote-call")
+    workload = replace(config.workload, p_b_local=p_b_local)
+    result = run_single("none", MODEL_OVERLAP_RATE, settings=run,
+                        workload=workload, class_b_mode="remote-call")
+    simulated = result.response_time_by_class[TransactionClass.B]
+    estimate = DistributedModel(config).estimate(
+        p_b_local,
+        rho_local=result.mean_local_utilization,
+        rho_central=result.mean_central_utilization)
+    predicted = estimate.response_distributed
+    error = abs(simulated - predicted) / max(predicted, 1e-12)
+    passed = error <= MODEL_OVERLAP_TOLERANCE
+    return passed, (
+        f"remote-call class B at rate {MODEL_OVERLAP_RATE:g} "
+        f"(p_b_local={p_b_local}, {estimate.remote_calls:.1f} remote "
+        f"call(s)/txn): model {predicted:.4f}s, simulated "
+        f"{simulated:.4f}s, |error| {error:.1%} "
+        f"{'<=' if passed else 'exceeds'} tolerance "
+        f"{MODEL_OVERLAP_TOLERANCE:.0%}")
+
+
+DIFFERENTIAL_PAIRS = registry([
+    Check(name="tracer-vs-null", kind="differential",
+          description="an attached streaming tracer does not perturb "
+                      "the sample path (full bit-identity)",
+          _run=_check_tracer_vs_null),
+    Check(name="checker-vs-bare", kind="differential",
+          description="the invariant checker's hooks are read-only: all "
+                      "metrics match a bare run",
+          _run=_check_checker_vs_bare),
+    Check(name="class-b-mode-degenerate", kind="differential",
+          description="with no class B transactions the central and "
+                      "remote-call modes are bit-identical",
+          _run=_check_class_b_mode_degenerate),
+    Check(name="distributed-model-overlap", kind="differential",
+          description="low-load remote-call simulation matches the "
+                      "closed-form distributed-mode model",
+          _run=_check_distributed_model_overlap),
+])
+
+
+def run_differential(settings: VerifySettings | None = None,
+                     names: list[str] | None = None):
+    """Run (a subset of) the differential pairs."""
+    settings = settings or VerifySettings()
+    selected = names or sorted(DIFFERENTIAL_PAIRS)
+    return [DIFFERENTIAL_PAIRS[name].run(settings) for name in selected]

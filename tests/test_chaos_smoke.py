@@ -8,6 +8,8 @@ settled (committed, failed over, or counted failed), and not a single
 protocol invariant is violated through degradation and recovery.
 """
 
+import pytest
+
 from repro.core import STRATEGIES
 from repro.hybrid import HybridSystem, paper_config
 from repro.hybrid.checker import attach_checker
@@ -71,6 +73,7 @@ def test_outage_settles_every_fault_window_transaction():
                                      result.txns_failed)
 
 
+@pytest.mark.slow
 def test_chaos_is_reproducible():
     plan = chaos_plan(warmup_time=WARMUP, measure_time=MEASURE,
                       retry=RETRY)

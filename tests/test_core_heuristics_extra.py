@@ -49,6 +49,7 @@ def test_registered_strategy_end_to_end():
     assert 0.0 < result.shipped_fraction < 1.0
 
 
+@pytest.mark.slow
 def test_weaker_than_analytic_schemes_at_high_load():
     """The baseline lacks MIPS/delay awareness; the paper's analytic
     schemes should beat it when those factors matter."""

@@ -113,6 +113,7 @@ def high_contention_config(total_rate=20.0, seed=17):
                                               lockspace=400))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("strategy", ["none", "static-optimal"])
 def test_checker_survives_high_contention_abort_waves(strategy):
     config = high_contention_config()

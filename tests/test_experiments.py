@@ -129,6 +129,7 @@ def test_format_table_alignment():
     assert all(len(line) == len(lines[0]) for line in lines[1:])
 
 
+@pytest.mark.slow
 def test_figure_report_shows_half_widths_with_replications():
     settings = RunSettings(warmup_time=3.0, measure_time=8.0,
                            replications=2)
@@ -137,6 +138,7 @@ def test_figure_report_shows_half_widths_with_replications():
     assert "+-" in report  # CI half-widths rendered
 
 
+@pytest.mark.slow
 def test_figure_report_contains_curves_and_expectations():
     figure = figure_4_1(RunSettings(warmup_time=3.0, measure_time=8.0))
     report = figure_report(figure)

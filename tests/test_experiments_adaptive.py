@@ -139,6 +139,7 @@ def test_adaptive_replication_seeds_follow_base_seed():
     assert seeds == [CAPPED3.base_seed + r for r in range(3)]
 
 
+@pytest.mark.slow
 def test_adaptive_figure_capped_equals_fixed():
     tiny_fixed = RunSettings(warmup_time=2.0, measure_time=5.0,
                              replications=2)
@@ -298,6 +299,7 @@ def test_sensitivity_sweep_default_unchanged():
 # CLI
 # ---------------------------------------------------------------------------
 
+@pytest.mark.slow
 def test_cli_adaptive_figure(capsys):
     from repro.experiments.cli import main
 

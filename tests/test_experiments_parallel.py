@@ -75,6 +75,7 @@ def test_run_curve_set_batches_multiple_strategies():
     assert [curve.label for curve in parallel] == ["baseline", "B"]
 
 
+@pytest.mark.slow
 def test_figure_4_4_parallel_matches_serial():
     tiny = RunSettings(warmup_time=2.0, measure_time=5.0)
     thresholds = (0.0, -0.2)

@@ -68,6 +68,7 @@ def test_checks_are_resilient_to_missing_curves():
     assert passed is False
 
 
+@pytest.mark.slow
 def test_claims_reference_real_curve_labels():
     """Every claim must evaluate cleanly against real figure output."""
     from repro.experiments import RunSettings

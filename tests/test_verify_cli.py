@@ -1,0 +1,95 @@
+"""Tests for the hybriddb-verify CLI (repro.verify.cli)."""
+
+import pytest
+
+from repro.verify.cli import all_checks, build_parser, main
+from repro.verify.differential import DIFFERENTIAL_PAIRS
+from repro.verify.golden import GOLDEN_DIR_ENV, GOLDEN_SCENARIOS
+from repro.verify.metamorphic import RELATIONS
+from repro.verify.oracle import ORACLES
+
+
+def test_quick_suite_meets_coverage_floor():
+    """The --quick suite must span all four families at useful depth."""
+    assert len(ORACLES) >= 3
+    assert len(RELATIONS) >= 5
+    assert len(GOLDEN_SCENARIOS) >= 2
+    assert len(DIFFERENTIAL_PAIRS) >= 2
+
+
+def test_all_checks_globally_unique():
+    checks = all_checks()
+    assert len(checks) == (len(ORACLES) + len(RELATIONS) +
+                           len(GOLDEN_SCENARIOS) + len(DIFFERENTIAL_PAIRS))
+    for name, check in checks.items():
+        assert check.name == name
+        assert check.description
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("md1-response-time", "empty-fault-plan",
+                 "golden-baseline-none", "tracer-vs-null"):
+        assert name in out
+
+
+def test_unknown_check_rejected(capsys):
+    assert main(["--only", "no-such-check"]) == 2
+    assert "no-such-check" in capsys.readouterr().err
+
+
+def test_empty_selection_rejected(capsys):
+    assert main(["--only", "md1-response-time",
+                 "--kind", "golden"]) == 2
+
+
+def test_single_cheap_check_runs(capsys):
+    assert main(["--only", "seed-stream-independence"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "1 passed, 0 failed" in out
+
+
+def test_quick_sets_scale(capsys):
+    assert main(["--quick", "--only", "seed-stream-independence"]) == 0
+    assert "scale=0.5" in capsys.readouterr().out
+
+
+def test_missing_goldens_fail_with_exit_code(tmp_path, monkeypatch,
+                                             capsys):
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path))
+    assert main(["--kind", "golden"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "--update-golden" in out
+
+
+@pytest.mark.slow
+def test_update_golden_roundtrip(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path))
+    assert main(["--update-golden", "--only",
+                 "golden-baseline-none"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline-none.json" in out
+    assert main(["--only", "golden-baseline-none"]) == 0
+
+
+def test_update_golden_unknown_scenario(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path))
+    assert main(["--update-golden", "--only", "golden-nonexistent"]) == 1
+
+
+def test_experiment_cli_exposes_verify_flag():
+    from repro.experiments.cli import build_parser as experiment_parser
+
+    args = experiment_parser().parse_args(["--verify"])
+    assert args.verify is True
+
+
+def test_parser_kinds_are_exhaustive():
+    parser = build_parser()
+    args = parser.parse_args(["--kind", "oracle", "--kind", "relation"])
+    assert args.kind == ["oracle", "relation"]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--kind", "bogus"])

@@ -1,0 +1,40 @@
+"""Tests for the differential run pairs (repro.verify.differential)."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import RunSettings, run_single
+from repro.verify.base import VerifySettings
+from repro.verify.differential import DIFFERENTIAL_PAIRS, run_differential
+
+TINY = VerifySettings(scale=0.3)
+
+
+@pytest.mark.parametrize("name", sorted(DIFFERENTIAL_PAIRS))
+def test_differential_pairs_pass(name):
+    result = DIFFERENTIAL_PAIRS[name].run(TINY)
+    assert result.passed, result.details
+    assert result.kind == "differential"
+
+
+def test_run_differential_subset():
+    results = run_differential(TINY, names=["distributed-model-overlap"])
+    assert len(results) == 1
+    assert results[0].passed, results[0].details
+
+
+def test_identity_dict_excludes_wall_clock():
+    settings = RunSettings(warmup_time=2.0, measure_time=10.0)
+    result = run_single("none", 10.0, settings=settings)
+    full = result.identity_dict()
+    assert "wall_clock_seconds" not in full
+    assert "engine_events_per_sec" not in full
+    assert "engine_events" in full
+    bare = result.identity_dict(include_profile=False,
+                                include_strategy=False)
+    assert "engine_events" not in bare
+    assert "engine_heap_peak" not in bare
+    assert "strategy" not in bare
+    assert math.isclose(bare["mean_response_time"],
+                        result.mean_response_time)

@@ -1,0 +1,87 @@
+"""Tests for the metamorphic relation engine (repro.verify.metamorphic)."""
+
+import pytest
+
+from repro.verify.base import Check, VerifySettings, registry
+from repro.verify.compare import diff, flatten, format_diff
+from repro.verify.metamorphic import RELATIONS, run_relations
+
+TINY = VerifySettings(scale=0.25)
+
+
+@pytest.mark.parametrize("name", ["empty-fault-plan", "ship-prob-zero",
+                                  "ship-prob-one"])
+def test_bit_identity_relations_pass(name):
+    result = RELATIONS[name].run(TINY)
+    assert result.passed, result.details
+    assert result.kind == "relation"
+
+
+def test_seed_stream_independence_passes():
+    result = RELATIONS["seed-stream-independence"].run(TINY)
+    assert result.passed, result.details
+
+
+@pytest.mark.slow
+def test_statistical_relations_pass():
+    for name in ("site-permutation", "rate-monotonicity"):
+        result = RELATIONS[name].run(VerifySettings(scale=0.5))
+        assert result.passed, result.details
+
+
+def test_run_relations_defaults_to_all():
+    names = {result.name for result in
+             run_relations(TINY, names=["seed-stream-independence"])}
+    assert names == {"seed-stream-independence"}
+    assert set(RELATIONS) >= {"empty-fault-plan", "ship-prob-zero",
+                              "ship-prob-one", "site-permutation",
+                              "rate-monotonicity",
+                              "seed-stream-independence"}
+
+
+def test_registry_rejects_duplicate_names():
+    check = Check(name="x", kind="relation", description="",
+                  _run=lambda settings: (True, ""))
+    with pytest.raises(ValueError, match="duplicate"):
+        registry([check, check])
+
+
+def test_check_result_reports_failure_details():
+    check = Check(name="always-fails", kind="relation", description="",
+                  _run=lambda settings: (False, "expected A, got B"))
+    result = check.run(TINY)
+    assert not result.passed
+    assert result.status == "FAIL"
+    assert "expected A" in result.details
+    assert result.elapsed >= 0.0
+
+
+# -- compare helpers ----------------------------------------------------------
+
+def test_flatten_nested_structures():
+    flat = flatten({"a": {"b": [1, 2]}, "c": 3.0, "d": {}})
+    assert flat == {"a.b[0]": 1, "a.b[1]": 2, "c": 3.0}
+
+
+def test_diff_reports_paths_and_tolerance():
+    left = {"x": 1.0, "y": {"z": 2.0}}
+    right = {"x": 1.05, "y": {"z": 2.0}}
+    assert diff(left, right) == ["x: left=1.0 != right=1.05"]
+    assert diff(left, right, rel_tolerance=0.1) == []
+
+
+def test_diff_nan_equals_nan():
+    nan = float("nan")
+    assert diff({"v": nan}, {"v": nan}) == []
+
+
+def test_diff_missing_keys():
+    lines = diff({"a": 1}, {"b": 2}, labels=("old", "new"))
+    assert any("missing in new" in line for line in lines)
+    assert any("missing in old" in line for line in lines)
+
+
+def test_format_diff_truncates():
+    lines = [f"path{i}: left=0 != right=1" for i in range(40)]
+    report = format_diff(lines, limit=10)
+    assert "30 more difference(s)" in report

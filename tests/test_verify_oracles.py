@@ -1,0 +1,86 @@
+"""Tests for the analytic oracles (repro.verify.oracle)."""
+
+import math
+
+import pytest
+
+from repro.analysis.mm1 import md1_response_time
+from repro.verify.base import VerifySettings
+from repro.verify.oracle import (
+    MD1_RATE,
+    ORACLES,
+    degenerate_md1_config,
+    run_oracles,
+)
+
+QUICK = VerifySettings(scale=0.4)
+
+
+def test_md1_formula_idle_limit():
+    # At rho -> 0 there is no queueing: R = S.
+    assert md1_response_time(0.15, 0.0) == pytest.approx(0.15)
+
+
+def test_md1_formula_known_value():
+    # Pollaczek-Khinchine at rho = 0.5: R = S * (1 + 0.5 / (2 * 0.5)).
+    assert md1_response_time(0.2, 0.5) == pytest.approx(0.2 * 1.5)
+
+
+def test_md1_formula_half_of_mm1_queueing():
+    # Deterministic service halves the M/M/1 waiting time: the M/D/1
+    # queueing term is rho/(2(1-rho)) against M/M/1's rho/(1-rho).
+    service, rho = 0.15, 0.6
+    md1_wait = md1_response_time(service, rho) - service
+    mm1_wait = service * rho / (1.0 - rho)
+    assert md1_wait == pytest.approx(mm1_wait / 2.0)
+
+
+def test_md1_formula_rejects_negative_service():
+    with pytest.raises(ValueError):
+        md1_response_time(-0.1, 0.5)
+
+
+def test_degenerate_config_is_single_burst():
+    config = degenerate_md1_config(QUICK)
+    workload = config.workload
+    assert workload.n_sites == 1
+    assert workload.locks_per_txn == 0
+    assert workload.p_local == 1.0
+    assert config.io_initial == 0.0
+    assert config.io_per_db_call == 0.0
+    assert config.instr_commit == 0
+    # Service = one overhead burst; rho stays well inside stability.
+    service = config.local_service_time
+    assert service == pytest.approx(0.15)
+    assert MD1_RATE * service < 0.8
+
+
+@pytest.mark.parametrize("name", ["md1-response-time", "utilization-law",
+                                  "littles-law"])
+def test_degenerate_oracles_pass(name):
+    result = ORACLES[name].run(QUICK)
+    assert result.passed, result.details
+    assert result.kind == "oracle"
+
+
+@pytest.mark.slow
+def test_fixed_point_model_oracle_passes():
+    result = ORACLES["fixed-point-model"].run(QUICK)
+    assert result.passed, result.details
+
+
+def test_run_oracles_subset_order():
+    results = run_oracles(QUICK, names=["utilization-law", "littles-law"])
+    assert [r.name for r in results] == ["utilization-law", "littles-law"]
+    assert all(r.passed for r in results)
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        VerifySettings(scale=0.0)
+    with pytest.raises(ValueError):
+        VerifySettings(confidence=1.0)
+    with pytest.raises(ValueError):
+        VerifySettings(rel_tolerance=-0.1)
+    scaled = QUICK.scaled(0.5)
+    assert math.isclose(scaled.scale, 0.2)
