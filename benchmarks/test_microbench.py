@@ -204,6 +204,54 @@ def test_bench_adaptive_replication_savings():
     target.write_text(json.dumps(history, indent=2) + "\n")
 
 
+def test_bench_observability_overhead_budget():
+    """The full observer stack must cost <= 10% of a bare run.
+
+    Times a hot run bare, then the same run with every pure observer
+    attached at once -- metrics registry, routing audit and a
+    zero-buffer streaming tracer -- and enforces the overhead budget
+    that keeps instrumentation on by default.  Best-of-N wall-clock on
+    both sides damps scheduler noise (a single-shot ratio on a shared
+    runner drifts far more than the budget itself).
+    """
+    from repro.experiments.runner import run_single
+    from repro.obs.audit import RoutingAudit
+    from repro.obs.registry import MetricsRegistry
+    from repro.sim.trace import Tracer
+
+    settings = RunSettings(warmup_time=5.0, measure_time=30.0,
+                           base_seed=11)
+    attempts = 5
+
+    def best_of(runner):
+        best = float("inf")
+        reference = None
+        for _ in range(attempts):
+            started = time.perf_counter()
+            result = runner()
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+            reference = result
+        return best, reference
+
+    bare_seconds, bare = best_of(
+        lambda: run_single("queue-length", 18.0, settings=settings))
+    observed_seconds, observed = best_of(
+        lambda: run_single("queue-length", 18.0, settings=settings,
+                           registry=MetricsRegistry(),
+                           audit=RoutingAudit(),
+                           tracer=Tracer(max_records=0)))
+
+    # The observers must not have changed the run they were measuring.
+    assert observed.identity_dict() == bare.identity_dict()
+
+    overhead = observed_seconds / bare_seconds - 1.0
+    assert overhead <= 0.10, (
+        f"observability overhead {overhead:.1%} exceeds the 10% budget "
+        f"(bare {bare_seconds:.3f}s, observed {observed_seconds:.3f}s)")
+
+
 def test_bench_resource_contention(benchmark):
     """Request/queue/release cycling through a contended resource."""
 

@@ -49,7 +49,8 @@ __all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
 
 #: Bump to invalidate every existing cache entry (simulator semantics
 #: change, result-schema change, ...).
-CACHE_VERSION = 1
+#: 2: SimulationResult gained the ``metrics`` registry-snapshot field.
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "HYBRIDDB_CACHE_DIR"

@@ -14,6 +14,8 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --list
     hybriddb-experiment --run queue-length --rate 35 \\
         --telemetry run.csv --trace-out run.jsonl
+    hybriddb-experiment --run queue-length --profile --metrics-out m.json
+    hybriddb-experiment --run threshold --audit --audit-out decisions.jsonl
     hybriddb-experiment --run static-optimal --fault-plan central-outage
     hybriddb-experiment --availability --scale 0.5
 """
@@ -21,15 +23,18 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from ..core import STRATEGIES
+from ..obs.logconf import add_logging_flags, setup_cli_logging
 from ..sim.trace import Tracer
 from .cache import ResultCache, default_cache_dir
 from .export import write_figure_csv, write_telemetry, write_trace_jsonl
 from .figures import ALL_FIGURES
-from .report import curve_summary, figure_report, format_table
+from .report import curve_summary, execution_summary, figure_report, \
+    run_report
 from .runner import PrecisionSettings, RunSettings, run_single
 from .validation import validate_model
 
@@ -82,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", metavar="PATH",
                         help="with --run: write the event trace as "
                              "JSON Lines")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="with --run: write the metrics-registry "
+                             "snapshot as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --run: attach the engine profiler and "
+                             "print the per-event-type dispatch profile")
+    parser.add_argument("--hot-paths", action="store_true",
+                        help="with --run: run under cProfile and name "
+                             "the hottest functions (slows the run; "
+                             "ranking only, never benchmark with it)")
+    parser.add_argument("--audit", action="store_true",
+                        help="with --run: record every routing decision "
+                             "with its estimator inputs and print the "
+                             "per-strategy summary")
+    parser.add_argument("--audit-out", metavar="PATH",
+                        help="with --run: write the routing-decision "
+                             "audit as JSON Lines (implies --audit)")
     parser.add_argument("--fault-plan", metavar="SPEC",
                         help="with --run: inject faults; SPEC is a canned "
                              "plan name (central-outage, lossy-links, "
@@ -118,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache directory (default "
                              f"{default_cache_dir()}, or "
                              "$HYBRIDDB_CACHE_DIR)")
+    add_logging_flags(parser)
     return parser
 
 
@@ -134,8 +157,7 @@ def _run_figure(figure_id: str, settings: RunSettings,
     if csv_path is not None:
         target = write_figure_csv(figure, csv_path)
         print(f"\n[data written to {target}]")
-    print(f"\n[{elapsed:.1f}s of wall-clock simulation, "
-          f"{workers} worker(s)]")
+    print("\n" + execution_summary(elapsed, workers=workers, cache=cache))
     if isinstance(settings, PrecisionSettings):
         points = [point for curve in figure.curves
                   for point in curve.points]
@@ -148,8 +170,6 @@ def _run_figure(figure_id: str, settings: RunSettings,
               f"{met}/{len(points)} point(s) within "
               f"+/-{settings.rel_precision:.1%} at "
               f"{settings.confidence:.0%} confidence]")
-    if cache is not None:
-        print(f"[{cache.stats()}]")
 
 
 def _resolve_plan(args, settings: RunSettings):
@@ -165,80 +185,51 @@ def _resolve_plan(args, settings: RunSettings):
                               settings.scale)
 
 
-def _print_availability(result) -> None:
-    print("Fault handling")
-    print(f"  availability        {result.availability:.4f}")
-    print(f"  timed out           {result.txns_timed_out}")
-    print(f"  failed over (A)     {result.txns_failed_over}")
-    print(f"  failed (B)          {result.txns_failed}")
-    print(f"  cancelled @central  {result.txns_cancelled_central}")
-    print(f"  fallback routings   {result.fallback_routings}")
-    print(f"  arrivals rejected   {result.arrivals_rejected}")
-    print(f"  messages dropped    {result.messages_dropped}, "
-          f"retransmitted {result.messages_retransmitted}, "
-          f"duplicates {result.duplicate_messages}")
-    for report in result.fault_episodes:
-        recover = ("not within run" if report.time_to_recover is None
-                   else f"recovered in {report.time_to_recover:.1f}s")
-        target = "" if report.site is None else f" site {report.site}"
-        print(f"  {report.kind}{target} "
-              f"[{report.start:g}s..{report.end:g}s]: throughput "
-              f"{report.baseline_throughput:.1f} -> "
-              f"{report.degraded_throughput:.1f} txn/s, {recover}")
-
-
 def _run_single(args, settings: RunSettings) -> int:
-    from .export import decomposition_rows
-    from .report import sparkline
-
     tracer = Tracer(max_records=200_000) if args.trace_out else None
     fault_plan = _resolve_plan(args, settings)
+
+    audit = None
+    if args.audit or args.audit_out:
+        from ..obs.audit import RoutingAudit
+
+        audit = RoutingAudit()
+    profiler = None
+
+    def instrument(system) -> None:
+        nonlocal profiler
+        if args.profile:
+            from ..obs.profiler import EngineProfiler
+
+            profiler = EngineProfiler(system.env)
+
     started = time.time()
-    result = run_single(args.run, args.rate, comm_delay=args.comm_delay,
-                        settings=settings, tracer=tracer,
-                        fault_plan=fault_plan)
+    kwargs = dict(comm_delay=args.comm_delay, settings=settings,
+                  tracer=tracer, fault_plan=fault_plan, audit=audit,
+                  instrument=instrument)
+    hot = None
+    if args.hot_paths:
+        from ..obs.profiler import hot_path_profile
+
+        result, hot = hot_path_profile(run_single, args.run, args.rate,
+                                       **kwargs)
+    else:
+        result = run_single(args.run, args.rate, **kwargs)
     elapsed = time.time() - started
 
-    print(f"{result.strategy} @ rate={result.total_rate:g} txn/s, "
-          f"comm_delay={result.comm_delay:g}s, seed={result.seed}")
-    print(f"  mean response time  {result.mean_response_time:.4f} s")
-    print(f"  throughput          {result.throughput:.2f} txn/s")
-    print(f"  shipped fraction    {result.shipped_fraction:.1%}")
-    print(f"  abort rate          {result.abort_rate:.3f}")
-    print()
-    print("Response-time decomposition")
-    rows = [(row["phase"], f"{row['mean_seconds']:.4f}",
-             f"{row['fraction']:.1%}")
-            for row in decomposition_rows(result)]
-    print(format_table(("phase", "mean s", "share"), rows))
-    residual = result.decomposition_residual
-    print(f"  [decomposition residual vs mean RT: {residual:.2e}]")
-    print()
-    windows = result.telemetry
-    print(f"Telemetry: {len(windows)} window(s) of "
-          f"{result.telemetry_interval:g}s"
-          + (f", {result.telemetry_windows_dropped} evicted"
-             if result.telemetry_windows_dropped else ""))
-    if windows:
-        print("  throughput  "
-              + sparkline([w.throughput for w in windows]))
-        print("  population  "
-              + sparkline([float(w.population) for w in windows]))
-    adequate = result.warmup_adequate
-    if adequate is None:
-        print("  warm-up adequacy: not judged (too few windows)")
-    else:
-        trend = ", ".join(f"{name} {drift:+.0%}"
-                          for name, drift in result.warmup_trend.items())
-        verdict = "OK" if adequate else "SUSPECT (still trending)"
-        print(f"  warm-up adequacy: {verdict} [{trend}]")
-    print()
-    if fault_plan is not None:
-        _print_availability(result)
+    print(run_report(result, fault_plan_active=fault_plan is not None))
+    if profiler is not None:
         print()
-    print(f"Engine: {result.engine_events} events, "
-          f"{result.engine_events_per_sec:,.0f} events/s, "
-          f"heap peak {result.engine_heap_peak}")
+        print(profiler.report())
+    if hot is not None:
+        from ..obs.profiler import format_hot_paths
+
+        print()
+        print("Hot paths (cProfile, ranking only):")
+        print(format_hot_paths(hot))
+    if audit is not None:
+        print()
+        print(audit.summary().format())
     if args.telemetry:
         target = write_telemetry(result, args.telemetry)
         print(f"[telemetry written to {target}]")
@@ -246,7 +237,20 @@ def _run_single(args, settings: RunSettings) -> int:
         target = write_trace_jsonl(tracer, args.trace_out)
         print(f"[{len(tracer.records)} trace record(s) written to "
               f"{target}]")
-    print(f"\n[{elapsed:.1f}s of wall-clock simulation]")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump({"strategy": result.strategy,
+                       "total_rate": result.total_rate,
+                       "comm_delay": result.comm_delay,
+                       "seed": result.seed,
+                       "metrics": result.metrics}, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"[metrics snapshot written to {args.metrics_out}]")
+    if args.audit_out:
+        written = audit.write_jsonl(args.audit_out)
+        print(f"[{written} audit record(s) written to {args.audit_out}]")
+    print("\n" + execution_summary(elapsed))
     return 0
 
 
@@ -261,11 +265,12 @@ def _run_validation(settings: RunSettings) -> None:
     print(report.to_table())
     print(f"\nmean |error| = {report.mean_abs_error:.1%}, "
           f"max |error| = {report.max_abs_error:.1%}")
-    print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+    print("\n" + execution_summary(time.time() - started))
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(args)
     if args.list:
         for figure_id, builder in sorted(ALL_FIGURES.items()):
             doc = (builder.__doc__ or "").strip().splitlines()[0]
@@ -307,8 +312,16 @@ def main(argv: list[str] | None = None) -> int:
                                base_seed=args.seed, scale=args.scale)
     workers = args.workers  # 0 -> auto-detect inside ParallelRunner
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if (args.telemetry or args.trace_out) and not args.run:
-        print("error: --telemetry/--trace-out require --run",
+    if (args.telemetry or args.trace_out or args.metrics_out or
+            args.profile or args.hot_paths or args.audit or
+            args.audit_out) and not args.run:
+        print("error: --telemetry/--trace-out/--metrics-out/--profile/"
+              "--hot-paths/--audit/--audit-out require --run",
+              file=sys.stderr)
+        return 2
+    if args.profile and args.hot_paths:
+        print("error: --profile and --hot-paths are mutually exclusive "
+              "(cProfile tracing would distort the dispatch timings)",
               file=sys.stderr)
         return 2
     if args.run and args.rate <= 0:
@@ -337,9 +350,8 @@ def main(argv: list[str] | None = None) -> int:
         if episodes:
             print("\nEpisodes")
             print(episodes)
-        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
-        if cache is not None:
-            print(f"[{cache.stats()}]")
+        print("\n" + execution_summary(time.time() - started,
+                                       workers=workers, cache=cache))
         if not args.figure:
             return 0
     if args.validate:
@@ -352,7 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         card = run_scorecard(settings)
         print(card.to_text())
-        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
+        print("\n" + execution_summary(time.time() - started))
         if not args.figure:
             return 0 if card.all_essential_pass else 1
     if args.sensitivity:
@@ -368,9 +380,8 @@ def main(argv: list[str] | None = None) -> int:
             settings=settings if isinstance(settings, PrecisionSettings)
             else None)
         print(sweep.to_table())
-        print(f"\n[{time.time() - started:.1f}s of wall-clock simulation]")
-        if cache is not None:
-            print(f"[{cache.stats()}]")
+        print("\n" + execution_summary(time.time() - started,
+                                       workers=workers, cache=cache))
         if not args.figure:
             return 0
     if not args.figure:

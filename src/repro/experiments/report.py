@@ -5,16 +5,26 @@ information is rendered as aligned tables (one row per swept rate, one
 column per curve) plus an ASCII sparkline per curve for quick shape
 checks.  ``figure_report`` produces the full block the benchmarks and
 the CLI print.
+
+This module is also the single place run summaries are rendered:
+:func:`run_report` is the full single-run block (response-time
+decomposition, telemetry, fault handling, engine profile, metrics
+dashboard), :func:`metrics_dashboard` renders a frozen registry
+snapshot as a terminal or markdown table, and
+:func:`execution_summary` is the uniform wall-clock/worker/cache
+trailer every CLI mode prints.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Sequence
 
 from .figures import FigureData
 from .runner import Curve, CurvePoint
 
-__all__ = ["format_table", "sparkline", "figure_report", "curve_summary"]
+__all__ = ["format_table", "sparkline", "figure_report", "curve_summary",
+           "metrics_dashboard", "run_report", "execution_summary"]
 
 _SPARK_LEVELS = " .:-=+*#%@"
 
@@ -130,3 +140,200 @@ def curve_summary(curve: Curve, response_limit: float = 4.0) -> str:
                   else f"{min(counts)}-{max(counts)}")
         line += f", reps {spread}"
     return line
+
+
+# -- registry dashboard -------------------------------------------------------
+
+_METRIC_KEY = re.compile(
+    r"^(?P<name>[^{]+?)(?:\{(?P<labels>[^}]*)\})?$")
+
+_HIST_SUFFIXES = ("_count", "_sum", "_min", "_max")
+
+#: Breakdown rows shown per instrument before eliding (link gauges can
+#: carry dozens of label combinations).
+_MAX_BREAKDOWN = 8
+
+
+def _split_snapshot(metrics: dict) -> tuple[dict, dict]:
+    """Partition a flat snapshot into scalar and histogram series.
+
+    Histograms expand to four suffixed keys per label set; a series is
+    recognised when its ``_count`` and ``_sum`` keys both exist.
+    """
+    histograms: dict[str, dict[str, float]] = {}
+    scalars: dict[str, float] = {}
+    keys = set(metrics)
+    for key, value in metrics.items():
+        for suffix in _HIST_SUFFIXES:
+            if key.endswith(suffix):
+                stem = key[:-len(suffix)]
+                if stem + "_count" in keys and stem + "_sum" in keys:
+                    histograms.setdefault(stem, {})[suffix[1:]] = value
+                    break
+        else:
+            scalars[key] = value
+    return scalars, histograms
+
+
+def metrics_dashboard(metrics: dict, markdown: bool = False) -> str:
+    """Render a frozen registry snapshot (``SimulationResult.metrics``).
+
+    Scalars are grouped per instrument with per-label breakdowns;
+    histogram series show count/mean/min/max.  ``markdown=True`` emits a
+    GitHub-flavoured table instead of the aligned terminal layout.
+    """
+    if not metrics:
+        return "metrics: (empty registry)"
+    scalars, histograms = _split_snapshot(metrics)
+
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for key, value in scalars.items():
+        match = _METRIC_KEY.match(key)
+        name = match.group("name") if match else key
+        labels = (match.group("labels") or "") if match else ""
+        groups.setdefault(name, []).append((labels, value))
+
+    rows: list[tuple[str, str, str]] = []
+    for name in sorted(groups):
+        children = sorted(groups[name])
+        total = sum(value for _labels, value in children)
+        total_text = f"{total:g}"
+        if len(children) == 1 and not children[0][0]:
+            rows.append((name, total_text, ""))
+            continue
+        shown = children[:_MAX_BREAKDOWN]
+        breakdown = "  ".join(f"{labels}={value:g}"
+                              for labels, value in shown)
+        if len(children) > _MAX_BREAKDOWN:
+            breakdown += f"  (+{len(children) - _MAX_BREAKDOWN} more)"
+        rows.append((name, total_text, breakdown))
+    for stem in sorted(histograms):
+        series = histograms[stem]
+        count = series.get("count", 0)
+        mean = series.get("sum", 0.0) / count if count else 0.0
+        rows.append((stem, f"n={count:g}",
+                     f"mean={mean:.4f}  min={series.get('min', 0):.4f}  "
+                     f"max={series.get('max', 0):.4f}"))
+
+    if markdown:
+        lines = ["| metric | total | breakdown |",
+                 "| --- | --- | --- |"]
+        for name, total, breakdown in rows:
+            lines.append(f"| `{name}` | {total} | {breakdown} |")
+        return "\n".join(lines)
+    header = (f"Metrics registry: {len(groups)} instrument(s)"
+              + (f", {len(histograms)} histogram series"
+                 if histograms else ""))
+    return header + "\n" + format_table(
+        ("metric", "total", "breakdown"), rows)
+
+
+# -- unified run summary ------------------------------------------------------
+
+def run_report(result, fault_plan_active: bool = False) -> str:
+    """The full single-run text block (``--run`` output).
+
+    One renderer for every consumer (CLI, bench, tests): headline
+    figures, response-time decomposition, telemetry shape and warm-up
+    verdict, fault handling when active, the engine profile line and
+    the registry dashboard.
+    """
+    from .export import decomposition_rows
+
+    lines = [
+        f"{result.strategy} @ rate={result.total_rate:g} txn/s, "
+        f"comm_delay={result.comm_delay:g}s, seed={result.seed}",
+        f"  mean response time  {result.mean_response_time:.4f} s",
+        f"  throughput          {result.throughput:.2f} txn/s",
+        f"  shipped fraction    {result.shipped_fraction:.1%}",
+        f"  abort rate          {result.abort_rate:.3f}",
+        "",
+        "Response-time decomposition",
+    ]
+    rows = [(row["phase"], f"{row['mean_seconds']:.4f}",
+             f"{row['fraction']:.1%}")
+            for row in decomposition_rows(result)]
+    lines.append(format_table(("phase", "mean s", "share"), rows))
+    lines.append(f"  [decomposition residual vs mean RT: "
+                 f"{result.decomposition_residual:.2e}]")
+    lines.append("")
+
+    windows = result.telemetry
+    lines.append(f"Telemetry: {len(windows)} window(s) of "
+                 f"{result.telemetry_interval:g}s"
+                 + (f", {result.telemetry_windows_dropped} evicted"
+                    if result.telemetry_windows_dropped else ""))
+    if windows:
+        lines.append("  throughput  "
+                     + sparkline([w.throughput for w in windows]))
+        lines.append("  population  "
+                     + sparkline([float(w.population) for w in windows]))
+    adequate = result.warmup_adequate
+    if adequate is None:
+        lines.append("  warm-up adequacy: not judged (too few windows)")
+    else:
+        trend = ", ".join(f"{name} {drift:+.0%}"
+                          for name, drift in result.warmup_trend.items())
+        verdict = "OK" if adequate else "SUSPECT (still trending)"
+        lines.append(f"  warm-up adequacy: {verdict} [{trend}]")
+    lines.append("")
+
+    if fault_plan_active:
+        lines.append(availability_report(result))
+        lines.append("")
+
+    lines.append(f"Engine: {result.engine_events} events, "
+                 f"{result.engine_events_per_sec:,.0f} events/s, "
+                 f"heap peak {result.engine_heap_peak}")
+    if result.metrics:
+        lines.append("")
+        lines.append(metrics_dashboard(result.metrics))
+    return "\n".join(lines)
+
+
+def availability_report(result) -> str:
+    """Fault-handling block of a single-run report."""
+    lines = [
+        "Fault handling",
+        f"  availability        {result.availability:.4f}",
+        f"  timed out           {result.txns_timed_out}",
+        f"  failed over (A)     {result.txns_failed_over}",
+        f"  failed (B)          {result.txns_failed}",
+        f"  cancelled @central  {result.txns_cancelled_central}",
+        f"  fallback routings   {result.fallback_routings}",
+        f"  arrivals rejected   {result.arrivals_rejected}",
+        f"  messages dropped    {result.messages_dropped}, "
+        f"retransmitted {result.messages_retransmitted}, "
+        f"duplicates {result.duplicate_messages}",
+    ]
+    for report in result.fault_episodes:
+        recover = ("not within run" if report.time_to_recover is None
+                   else f"recovered in {report.time_to_recover:.1f}s")
+        target = "" if report.site is None else f" site {report.site}"
+        lines.append(f"  {report.kind}{target} "
+                     f"[{report.start:g}s..{report.end:g}s]: throughput "
+                     f"{report.baseline_throughput:.1f} -> "
+                     f"{report.degraded_throughput:.1f} txn/s, {recover}")
+    return "\n".join(lines)
+
+
+def execution_summary(elapsed: float, workers: int | None = None,
+                      cache=None, pool=None) -> str:
+    """The uniform execution trailer every CLI mode prints.
+
+    ``[12.3s of wall-clock simulation, 4 worker(s)]`` plus, when
+    available, the cache hit/miss line and the parallel-pool job split
+    (cached vs executed).  ``pool`` accepts anything exposing
+    ``jobs_cached``/``jobs_executed`` (:class:`ParallelRunner`).
+    """
+    line = f"[{elapsed:.1f}s of wall-clock simulation"
+    if workers is not None:
+        line += f", {workers} worker(s)"
+    line += "]"
+    lines = [line]
+    if pool is not None:
+        lines.append(f"[pool: {pool.jobs_cached} job(s) from cache, "
+                     f"{pool.jobs_executed} executed]")
+    if cache is not None:
+        lines.append(f"[{cache.stats()}]")
+    return "\n".join(lines)

@@ -413,6 +413,8 @@ class CentralSite(SiteBase):
                 txn.spans.exit(self.env.now)
                 raise
             txn.spans.exit(self.env.now)
+            self.metrics.record_auth_round(
+                all(reply.granted for reply in replies))
             if not all(reply.granted for reply in replies):
                 # Some master answered NAK: release any granted locks and
                 # re-execute (the paper: "it re-executes the transaction

@@ -129,12 +129,12 @@ class LocalSite(SiteBase):
         if txn.txn_class is TransactionClass.B:
             if self.config.class_b_mode == "remote-call":
                 txn.route(Placement.DISTRIBUTED)
-                self.metrics.record_routing(txn)
+                self.metrics.record_routing(txn, reason="class-b")
                 self.env.process(self._run_distributed(txn),
                                  name=f"txn-{txn.txn_id}@{self.name}:dist")
             else:
                 txn.route(Placement.CENTRAL)
-                self.metrics.record_routing(txn)
+                self.metrics.record_routing(txn, reason="class-b")
                 self._ship(txn)
             return
         fallback = self._fallback_reason()
@@ -144,13 +144,16 @@ class LocalSite(SiteBase):
             # consulting the strategy.
             txn.route(Placement.LOCAL)
             self.metrics.record_fallback_routing(txn, fallback)
-            self.metrics.record_routing(txn)
+            self.metrics.record_routing(txn,
+                                        reason=f"fallback:{fallback}")
             self.env.process(self._run_local(txn),
                              name=f"txn-{txn.txn_id}@{self.name}")
             return
-        decision = self.router.decide(txn, self.observe())
+        observation = self.observe()
+        decision = self.router.decide(txn, observation)
         txn.route(decision)
-        self.metrics.record_routing(txn)
+        self.metrics.record_routing(txn, observation=observation,
+                                    reason="strategy")
         if decision is Placement.LOCAL:
             self.env.process(self._run_local(txn),
                              name=f"txn-{txn.txn_id}@{self.name}")

@@ -33,11 +33,13 @@ from ..db.transaction import (
     TransactionClass,
     TransactionKind,
 )
+from ..obs.registry import MetricsRegistry
 from ..sim.quantiles import QuantileSet
 from ..sim.spans import PHASE_OTHER, PHASES
 from ..sim.stats import RunningStat, TimeWeightedStat
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.audit import RoutingAudit
     from ..sim.engine import Environment
     from .telemetry import TelemetryWindow
 
@@ -136,6 +138,14 @@ class SimulationResult:
     #: (:class:`~repro.sim.faults.EpisodeReport`).
     fault_episodes: tuple = ()
 
+    #: Flattened metrics-registry snapshot (``name{labels} -> value``):
+    #: every instrument the subsystems published during the run.  All
+    #: values are simulation-deterministic (no wall-clock quantities are
+    #: ever published), so the snapshot participates in bit-identity
+    #: checks; the ``engine_*`` gauges mirror the profile fields and are
+    #: filtered alongside them by ``identity_dict(include_profile=False)``.
+    metrics: dict[str, float] = field(default_factory=dict)
+
     @property
     def shipped_fraction(self) -> float:
         """Fraction of measured class A arrivals routed to the central site."""
@@ -192,6 +202,13 @@ class SimulationResult:
         if not include_profile:
             for name in self.PROFILE_FIELDS:
                 data.pop(name, None)
+            # The registry mirrors the engine profile as gauges; an
+            # observer that schedules its own (read-only) events shifts
+            # them exactly like the profile fields, so they are filtered
+            # together.
+            data["metrics"] = {key: value
+                               for key, value in data["metrics"].items()
+                               if not key.startswith("engine_")}
         if not include_strategy:
             data.pop("strategy", None)
         return data
@@ -228,15 +245,28 @@ class MetricsCollector:
     (kinds: ``route``, ``commit``, ``spans``, ``abort``, ``negative-ack``,
     ``message``).  Trace emission is unconditional (not gated on the
     warm-up window) so debugging runs see the start-up transient too.
+
+    The scalar protocol counters live in a
+    :class:`~repro.obs.registry.MetricsRegistry` (one is created when
+    none is passed): each hook increments a pre-bound registry child,
+    and the historical attribute names (``completed``,
+    ``aborts_deadlock``, ...) remain available as read-only properties.
+    An optional :class:`~repro.obs.audit.RoutingAudit` receives every
+    placement decision together with the observation that drove it.
+    Both are strictly observational and deterministic.
     """
 
     def __init__(self, env: "Environment", warmup_time: float,
-                 tracer=None):
+                 tracer=None, registry: MetricsRegistry | None = None,
+                 audit: "RoutingAudit | None" = None):
         self.env = env
         self.warmup_time = warmup_time
         from ..sim.trace import NullTracer
 
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.audit = audit
 
         self.response_all = RunningStat()
         self.response_quantiles = QuantileSet()
@@ -244,7 +274,6 @@ class MetricsCollector:
             cls: RunningStat() for cls in TransactionClass}
         self.response_by_kind: dict[TransactionKind, RunningStat] = {
             kind: RunningStat() for kind in TransactionKind}
-        self.completed = 0
 
         # Per-phase response-time decomposition (seconds per txn).
         self.phase_stats = _phase_stats()
@@ -255,31 +284,82 @@ class MetricsCollector:
                                       dict[str, RunningStat]] = {
             placement: _phase_stats() for placement in Placement}
 
-        self.class_a_arrivals = 0
-        self.class_a_shipped = 0
-
-        self.aborts_deadlock = 0
-        self.aborts_local_invalidated = 0
-        self.aborts_central_invalidated = 0
-        self.auth_negative_acks = 0
-
         self.n_central = TimeWeightedStat()
         self.n_local = TimeWeightedStat()
-        self.messages_to_central = 0
-        self.messages_to_sites = 0
+
+        # -- registry instruments (children bound once; hooks do one
+        # -- attribute add per event).  All are gated on the measurement
+        # -- window exactly as the historical plain-int fields were.
+        reg = self.registry
+        self._completed = reg.counter(
+            "txn_completed", "transactions committed in the "
+            "measurement window").single
+        arrivals = reg.counter(
+            "txn_arrivals", "measured arrivals by class",
+            labels=("txn_class",))
+        self._arrivals_a = arrivals.labels("A")
+        self._arrivals_b = arrivals.labels("B")
+        self._shipped_a = reg.counter(
+            "txn_shipped", "class A arrivals routed to the central "
+            "complex").single
+        aborts = reg.counter("txn_aborts", "aborts by cause",
+                             labels=("cause",))
+        self._aborts_deadlock = aborts.labels("deadlock")
+        self._aborts_local = aborts.labels("local-invalidated")
+        self._aborts_central = aborts.labels("central-invalidated")
+        self._nak = reg.counter(
+            "auth_negative_acks", "authentication rounds answered "
+            "NAK").single
+        auth_rounds = reg.counter(
+            "auth_rounds", "completed authentication rounds by verdict",
+            labels=("verdict",))
+        self._auth_granted = auth_rounds.labels("granted")
+        self._auth_refused = auth_rounds.labels("refused")
+        messages = reg.counter(
+            "messages_sent", "protocol messages by direction",
+            labels=("direction",))
+        self._msg_central = messages.labels("to-central")
+        self._msg_sites = messages.labels("to-sites")
+        self._routing = reg.counter(
+            "routing_decisions", "placement decisions by placement "
+            "and reason (counted from simulation start)",
+            labels=("placement", "reason"))
+        self._response_hist_family = reg.histogram(
+            "response_time_seconds", "measured response times by class",
+            labels=("txn_class",))
+        self._response_hist = {
+            cls: self._response_hist_family.labels(cls.value)
+            for cls in TransactionClass}
 
         # Robustness / availability counters (all stay zero without a
         # fault plan -- none of the hooks below fire then).
-        self.txns_timed_out = 0
-        self.txns_failed_over = 0
-        self.txns_failed = 0
-        self.txns_cancelled_central = 0
-        self.fallback_routings = 0
-        self.arrivals_rejected = 0
-        self.messages_dropped = 0
-        self.messages_retransmitted = 0
-        self.duplicate_messages = 0
-        self.fault_events = 0
+        self._timed_out = reg.counter(
+            "txn_timeouts", "shipments whose retry budget was "
+            "exhausted").single
+        self._failed_over = reg.counter(
+            "txn_failovers", "timed-out class A shipments re-run at "
+            "home").single
+        self._failed = reg.counter(
+            "txn_failures", "transactions abandoned permanently").single
+        self._cancelled = reg.counter(
+            "txn_cancelled_central", "central executions killed by a "
+            "ShipmentCancel").single
+        self._fallbacks = reg.counter(
+            "fallback_routings", "class A arrivals kept local by "
+            "failure awareness").single
+        self._rejected = reg.counter(
+            "arrivals_rejected", "arrivals turned away by crashed "
+            "sites").single
+        self._dropped = reg.counter(
+            "messages_dropped", "messages lost on degraded links").single
+        self._retransmitted = reg.counter(
+            "messages_retransmitted", "reliable-channel "
+            "retransmissions").single
+        self._duplicates = reg.counter(
+            "messages_duplicate", "duplicate deliveries discarded").single
+        self._faults = reg.counter(
+            "fault_events", "fault-episode transitions (applies + "
+            "reverts)").single
 
     # -- recording hooks (called by the sites) ------------------------------
 
@@ -287,7 +367,15 @@ class MetricsCollector:
     def measuring(self) -> bool:
         return self.env.now >= self.warmup_time
 
-    def record_routing(self, txn: Transaction) -> None:
+    def record_routing(self, txn: Transaction, observation=None,
+                       reason: str = "strategy") -> None:
+        """The placement decision for ``txn`` was made.
+
+        ``observation`` is the :class:`RoutingObservation` the router
+        consulted (``None`` for forced placements) and ``reason`` the
+        decision category -- both feed the routing audit and the
+        ``routing_decisions`` counter; the trace payload is unchanged.
+        """
         # Anchor the lifecycle timeline at the routing decision (which
         # coincides with arrival); time until the first attributed phase
         # falls into the catch-all ``other`` bucket.
@@ -296,11 +384,19 @@ class MetricsCollector:
                          site=txn.home_site,
                          txn_class=txn.txn_class.value,
                          placement=txn.placement.value)
-        if not self.measuring or txn.txn_class is not TransactionClass.A:
+        self._routing.labels(txn.placement.value, reason).inc()
+        if self.audit is not None:
+            self.audit.record(txn, placement=txn.placement.value,
+                              reason=reason, observation=observation,
+                              now=self.env.now)
+        if not self.measuring:
             return
-        self.class_a_arrivals += 1
-        if txn.placement is Placement.SHIPPED:
-            self.class_a_shipped += 1
+        if txn.txn_class is TransactionClass.A:
+            self._arrivals_a.inc()
+            if txn.placement is Placement.SHIPPED:
+                self._shipped_a.inc()
+        else:
+            self._arrivals_b.inc()
 
     def record_completion(self, txn: Transaction) -> None:
         self.tracer.emit(self.env.now, "commit", txn=txn.txn_id,
@@ -316,8 +412,9 @@ class MetricsCollector:
                         in txn.spans.as_dict().items()})
         if not self.measuring:
             return
-        self.completed += 1
+        self._completed.inc()
         response = txn.response_time
+        self._response_hist[txn.txn_class].observe(response)
         self.response_all.add(response)
         self.response_quantiles.add(response)
         self.response_by_class[txn.txn_class].add(response)
@@ -337,11 +434,11 @@ class MetricsCollector:
         if not self.measuring:
             return
         if cause == "deadlock":
-            self.aborts_deadlock += 1
+            self._aborts_deadlock.inc()
         elif cause == "local-invalidated":
-            self.aborts_local_invalidated += 1
+            self._aborts_local.inc()
         elif cause == "central-invalidated":
-            self.aborts_central_invalidated += 1
+            self._aborts_central.inc()
         else:
             raise ValueError(f"unknown abort cause: {cause}")
 
@@ -357,7 +454,17 @@ class MetricsCollector:
                          txn=None if txn is None else txn.txn_id,
                          sites=sites)
         if self.measuring:
-            self.auth_negative_acks += 1
+            self._nak.inc()
+
+    def record_auth_round(self, granted: bool) -> None:
+        """One authentication round concluded (registry-only hook).
+
+        Deliberately emits no trace event: the committed golden traces
+        hash the exact event stream, so new observability lands in the
+        registry, never in the tracer vocabulary.
+        """
+        if self.measuring:
+            (self._auth_granted if granted else self._auth_refused).inc()
 
     def record_message(self, to_central: bool, kind: str | None = None,
                        site: int | None = None) -> None:
@@ -370,9 +477,9 @@ class MetricsCollector:
         if not self.measuring:
             return
         if to_central:
-            self.messages_to_central += 1
+            self._msg_central.inc()
         else:
-            self.messages_to_sites += 1
+            self._msg_sites.inc()
 
     # -- robustness hooks (active only under a fault plan) -------------------
 
@@ -385,7 +492,7 @@ class MetricsCollector:
         """
         self.tracer.emit(self.env.now, "fault", fault=kind, phase=phase,
                          site=site)
-        self.fault_events += 1
+        self._faults.inc()
 
     def record_timeout(self, txn: Transaction) -> None:
         """A shipped transaction's response retry budget was exhausted."""
@@ -393,28 +500,31 @@ class MetricsCollector:
                          site=txn.home_site,
                          txn_class=txn.txn_class.value)
         if self.measuring:
-            self.txns_timed_out += 1
+            self._timed_out.inc()
 
     def record_failover(self, txn: Transaction) -> None:
         """A timed-out class A shipment re-runs at its home site."""
         self.tracer.emit(self.env.now, "failover", txn=txn.txn_id,
                          site=txn.home_site)
+        if self.audit is not None:
+            self.audit.record(txn, placement=Placement.LOCAL.value,
+                              reason="failover", now=self.env.now)
         if self.measuring:
-            self.txns_failed_over += 1
+            self._failed_over.inc()
 
     def record_failure(self, txn: Transaction, cause: str) -> None:
         """A transaction was abandoned permanently (never commits)."""
         self.tracer.emit(self.env.now, "txn-failed", txn=txn.txn_id,
                          site=txn.home_site, cause=cause)
         if self.measuring:
-            self.txns_failed += 1
+            self._failed.inc()
 
     def record_cancelled(self, txn: Transaction) -> None:
         """Central killed an execution on a ShipmentCancel."""
         self.tracer.emit(self.env.now, "cancel", txn=txn.txn_id,
                          site=txn.home_site)
         if self.measuring:
-            self.txns_cancelled_central += 1
+            self._cancelled.inc()
 
     def record_fallback_routing(self, txn: Transaction,
                                 reason: str) -> None:
@@ -422,21 +532,21 @@ class MetricsCollector:
         self.tracer.emit(self.env.now, "fallback", txn=txn.txn_id,
                          site=txn.home_site, reason=reason)
         if self.measuring:
-            self.fallback_routings += 1
+            self._fallbacks.inc()
 
     def record_rejected_arrival(self, txn: Transaction) -> None:
         """An arrival hit a crashed site and was turned away."""
         self.tracer.emit(self.env.now, "rejected", txn=txn.txn_id,
                          site=txn.home_site)
         if self.measuring:
-            self.arrivals_rejected += 1
+            self._rejected.inc()
 
     def record_drop(self, message) -> None:
         """A degraded link lost a message."""
         if self.tracer.enabled:
             self.tracer.emit(self.env.now, "drop", message=message.kind)
         if self.measuring:
-            self.messages_dropped += 1
+            self._dropped.inc()
 
     def record_retransmit(self, message) -> None:
         """A reliable channel resent an unacknowledged message."""
@@ -444,17 +554,99 @@ class MetricsCollector:
             self.tracer.emit(self.env.now, "retransmit",
                              message=message.kind)
         if self.measuring:
-            self.messages_retransmitted += 1
+            self._retransmitted.inc()
 
     def record_duplicate(self, message) -> None:
         """A reliable channel discarded a duplicate delivery."""
         if self.measuring:
-            self.duplicate_messages += 1
+            self._duplicates.inc()
 
     def record_population(self, n_local_total: int, n_central: int) -> None:
         """Sample the per-site population time series (called on changes)."""
         self.n_local.record(self.env.now, n_local_total)
         self.n_central.record(self.env.now, n_central)
+
+    # -- historical counter names (read-only registry views) -----------------
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def class_a_arrivals(self) -> int:
+        return int(self._arrivals_a.value)
+
+    @property
+    def class_b_arrivals(self) -> int:
+        return int(self._arrivals_b.value)
+
+    @property
+    def class_a_shipped(self) -> int:
+        return int(self._shipped_a.value)
+
+    @property
+    def aborts_deadlock(self) -> int:
+        return int(self._aborts_deadlock.value)
+
+    @property
+    def aborts_local_invalidated(self) -> int:
+        return int(self._aborts_local.value)
+
+    @property
+    def aborts_central_invalidated(self) -> int:
+        return int(self._aborts_central.value)
+
+    @property
+    def auth_negative_acks(self) -> int:
+        return int(self._nak.value)
+
+    @property
+    def messages_to_central(self) -> int:
+        return int(self._msg_central.value)
+
+    @property
+    def messages_to_sites(self) -> int:
+        return int(self._msg_sites.value)
+
+    @property
+    def txns_timed_out(self) -> int:
+        return int(self._timed_out.value)
+
+    @property
+    def txns_failed_over(self) -> int:
+        return int(self._failed_over.value)
+
+    @property
+    def txns_failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def txns_cancelled_central(self) -> int:
+        return int(self._cancelled.value)
+
+    @property
+    def fallback_routings(self) -> int:
+        return int(self._fallbacks.value)
+
+    @property
+    def arrivals_rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def messages_dropped(self) -> int:
+        return int(self._dropped.value)
+
+    @property
+    def messages_retransmitted(self) -> int:
+        return int(self._retransmitted.value)
+
+    @property
+    def duplicate_messages(self) -> int:
+        return int(self._duplicates.value)
+
+    @property
+    def fault_events(self) -> int:
+        return int(self._faults.value)
 
     # -- summary -------------------------------------------------------------
 
@@ -545,4 +737,5 @@ class MetricsCollector:
             duplicate_messages=self.duplicate_messages,
             fault_events=self.fault_events,
             fault_episodes=tuple(fault_episodes),
+            metrics=self.registry.snapshot(),
         )

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from ..db.workload import ArrivalProcess, LockSpacePartition, \
     TransactionFactory
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Environment
 from ..sim.faults import FaultInjector, FaultPlan, episode_reports
 from ..sim.network import Link, ReliableEndpoint
@@ -31,6 +32,7 @@ from .telemetry import TelemetrySampler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.router import RouterFactory
+    from ..obs.audit import RoutingAudit
 
 __all__ = ["HybridSystem", "simulate"]
 
@@ -54,14 +56,21 @@ class HybridSystem:
                  tracer: "Tracer | NullTracer | None" = None,
                  telemetry_interval: float = TELEMETRY_INTERVAL,
                  telemetry_capacity: int = TELEMETRY_CAPACITY,
-                 fault_plan: "FaultPlan | None" = None):
+                 fault_plan: "FaultPlan | None" = None,
+                 registry: "MetricsRegistry | None" = None,
+                 audit: "RoutingAudit | None" = None):
         self.config = config
         self.seed = config.seed if seed is None else seed
         self.env = Environment()
         self.streams = RandomStreams(self.seed)
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.audit = audit
         self.metrics = MetricsCollector(self.env, config.warmup_time,
-                                        tracer=self.tracer)
+                                        tracer=self.tracer,
+                                        registry=self.registry,
+                                        audit=audit)
         self.partition = LockSpacePartition(config.workload.lockspace,
                                             config.workload.n_sites)
 
@@ -72,6 +81,8 @@ class HybridSystem:
                                 self.routers[site_id])
                       for site_id in range(config.n_sites)]
         self.strategy_name = self.routers[0].name if self.routers else "none"
+        if audit is not None and not audit.strategy:
+            audit.strategy = self.strategy_name
 
         # Bidirectional constant-delay links per site.
         to_central = []
@@ -166,6 +177,41 @@ class HybridSystem:
                        self._q_local_tw, self._q_central_tw):
             series.reset(now)
 
+    def _publish_gauges(self) -> None:
+        """Harvest end-of-run state from the substrate into the registry.
+
+        The hot paths (CPU grants, link counters) keep plain ints and are
+        read once here, so instrumentation costs nothing per event.  Only
+        simulation-deterministic values are published -- never wall-clock
+        quantities -- so the snapshot is safe for bit-identity checks
+        (the ``engine_*`` gauges are filtered alongside the profile
+        fields when observer processes are present).
+        """
+        reg = self.registry
+        grants = reg.gauge("cpu_grants", "CPU service grants per server",
+                           labels=("server",))
+        grants.labels("central").set(self.central.cpu.grants)
+        link_msgs = reg.gauge("link_messages",
+                              "link traffic by link and event",
+                              labels=("link", "event"))
+        for site in self.sites:
+            grants.labels(f"site-{site.site_id}").set(site.cpu.grants)
+            for link in (site.to_central, site.from_central):
+                link_msgs.labels(link.name, "sent").set(link.messages_sent)
+                link_msgs.labels(link.name, "delivered").set(
+                    link.messages_delivered)
+                if link.messages_dropped:
+                    link_msgs.labels(link.name, "dropped").set(
+                        link.messages_dropped)
+        reg.gauge("engine_events",
+                  "kernel events dispatched").single.set(
+            self.env.events_processed)
+        reg.gauge("engine_events_scheduled",
+                  "kernel events scheduled").single.set(
+            self.env.events_scheduled)
+        reg.gauge("engine_heap_peak",
+                  "calendar peak depth").single.set(self.env.heap_peak)
+
     # -- execution ----------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -177,6 +223,7 @@ class HybridSystem:
         self._reset_after_warmup()
         self.env.run(until=config.run_until)
         wall_clock = time.perf_counter() - wall_start
+        self._publish_gauges()
         series = self.telemetry.series
         fault_episodes = ()
         if self.injector is not None:

@@ -1,0 +1,236 @@
+"""Routing-decision audit: why every ship/local/failover choice happened.
+
+The paper's strategies differ *only* in their routing rule, so when a
+figure disagrees with the paper the first question is always "what did
+the router see when it decided?".  The audit answers it: every placement
+choice is recorded as a :class:`RoutingDecision` carrying the estimator
+inputs that drove it -- the exact local state, the delayed central
+snapshot and its age, and the reason category (strategy verdict, class-B
+forced shipment, failure-aware fallback, watchdog failover).
+
+Like the tracer, the audit is an opt-in observer fed from
+``MetricsCollector.record_routing``: it reads the observation the site
+already built and never touches the simulation, so audited runs are
+bit-identical to bare runs.  The buffer is bounded (``max_records``,
+oldest-first retention with a ``dropped`` count) and can stream to a
+``sink`` callable for memory-bounded JSONL export.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["RoutingDecision", "RoutingAudit", "AuditSummary",
+           "summarize_decisions"]
+
+#: Decision reason categories (the ``reason`` field vocabulary).
+REASON_STRATEGY = "strategy"          # router consulted, verdict applied
+REASON_CLASS_B = "class-b"            # class B: shipment is forced
+REASON_FALLBACK = "fallback"          # failure-aware local fallback
+REASON_FAILOVER = "failover"          # watchdog re-ran a shipment at home
+
+#: Observation fields summarised per placement (estimator inputs).
+_INPUT_FIELDS = ("local_queue_length", "local_n_txns",
+                 "local_locks_held", "shipped_in_flight",
+                 "central_queue_length", "central_n_txns",
+                 "central_locks_held", "central_state_age")
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One placement choice with the inputs that drove it.
+
+    Estimator inputs are ``None`` when no observation was consulted
+    (forced class-B shipments, fallbacks, failovers); ``central_state_age``
+    is ``None`` while no central message has been heard yet (the
+    bootstrap snapshot has time ``-inf``).
+    """
+
+    time: float
+    txn_id: int
+    site: int
+    txn_class: str
+    placement: str
+    reason: str
+    strategy: str
+    local_queue_length: int | None = None
+    local_n_txns: int | None = None
+    local_locks_held: int | None = None
+    shipped_in_flight: int | None = None
+    central_queue_length: int | None = None
+    central_n_txns: int | None = None
+    central_locks_held: int | None = None
+    central_state_age: float | None = None
+
+    def to_json(self) -> str:
+        data = {key: value for key, value in asdict(self).items()
+                if value is not None}
+        return json.dumps(data, sort_keys=True)
+
+
+class RoutingAudit:
+    """Bounded buffer of routing decisions (optionally streaming).
+
+    ``max_records`` bounds the in-memory buffer (0 keeps nothing
+    buffered -- sink-only operation); every recorded decision is also
+    passed to ``sink`` when one is given.
+    """
+
+    DEFAULT_MAX_RECORDS = 200_000
+
+    def __init__(self, strategy: str = "",
+                 max_records: int = DEFAULT_MAX_RECORDS,
+                 sink=None):
+        self.strategy = strategy
+        self.max_records = max_records
+        self.sink = sink
+        self.records: list[RoutingDecision] = []
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, txn, *, placement: str, reason: str,
+               observation=None, now: float | None = None) -> None:
+        """Record one decision for ``txn`` (site code calls this)."""
+        inputs: dict = {}
+        if observation is not None:
+            age = observation.central_state_age
+            central = observation.central
+            inputs = {
+                "local_queue_length": observation.local_queue_length,
+                "local_n_txns": observation.local_n_txns,
+                "local_locks_held": observation.local_locks_held,
+                "shipped_in_flight": observation.shipped_in_flight,
+                "central_queue_length": central.queue_length,
+                "central_n_txns": central.n_txns,
+                "central_locks_held": central.locks_held,
+                "central_state_age": (round(age, 9)
+                                      if math.isfinite(age) else None),
+            }
+        decision = RoutingDecision(
+            time=round(observation.now if observation is not None
+                       else (now if now is not None else 0.0), 9),
+            txn_id=txn.txn_id,
+            site=txn.home_site,
+            txn_class=txn.txn_class.value,
+            placement=placement,
+            reason=reason,
+            strategy=self.strategy,
+            **inputs)
+        self.recorded += 1
+        if self.sink is not None:
+            self.sink(decision)
+        if len(self.records) < self.max_records:
+            self.records.append(decision)
+        else:
+            self.dropped += 1
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Dump the buffered decisions as JSONL; returns lines written.
+
+        A trailing marker line reports drops, so a truncated file is
+        distinguishable from a complete one.
+        """
+        path = Path(path)
+        with path.open("w") as handle:
+            for decision in self.records:
+                handle.write(decision.to_json() + "\n")
+            if self.dropped:
+                handle.write(json.dumps(
+                    {"truncated": True, "dropped": self.dropped,
+                     "recorded": self.recorded}) + "\n")
+        return len(self.records) + (1 if self.dropped else 0)
+
+    def summary(self) -> "AuditSummary":
+        return summarize_decisions(self.records, strategy=self.strategy,
+                                   recorded=self.recorded,
+                                   dropped=self.dropped)
+
+
+@dataclass
+class AuditSummary:
+    """Per-strategy digest of a decision stream."""
+
+    strategy: str
+    decisions: int
+    dropped: int = 0
+    by_placement: dict[str, int] = field(default_factory=dict)
+    by_reason: dict[str, int] = field(default_factory=dict)
+    #: placement -> estimator-input field -> mean value at decision time.
+    mean_inputs: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ship_fraction(self) -> float:
+        strategic = sum(count for reason, count in self.by_reason.items()
+                        if reason == REASON_STRATEGY)
+        if not strategic:
+            return 0.0
+        shipped = sum(count for (placement, reason), count
+                      in getattr(self, "_cross", {}).items()
+                      if placement == "shipped"
+                      and reason == REASON_STRATEGY)
+        return shipped / strategic
+
+    def format(self) -> str:
+        """Terminal-readable summary block."""
+        lines = [f"routing audit [{self.strategy}]: "
+                 f"{self.decisions} decision(s)"
+                 + (f", {self.dropped} dropped from buffer"
+                    if self.dropped else "")]
+        placements = ", ".join(f"{name}={count}" for name, count
+                               in sorted(self.by_placement.items()))
+        reasons = ", ".join(f"{name}={count}" for name, count
+                            in sorted(self.by_reason.items()))
+        lines.append(f"  placements: {placements or 'none'}")
+        lines.append(f"  reasons:    {reasons or 'none'}")
+        for placement in sorted(self.mean_inputs):
+            means = self.mean_inputs[placement]
+            shown = ", ".join(
+                f"{name.replace('_', ' ')}={value:.2f}"
+                for name, value in means.items())
+            lines.append(f"  at {placement!r} decisions: {shown}")
+        return "\n".join(lines)
+
+
+def summarize_decisions(decisions, strategy: str = "",
+                        recorded: int | None = None,
+                        dropped: int = 0) -> AuditSummary:
+    """Aggregate a decision list into an :class:`AuditSummary`.
+
+    The per-placement input means are the audit's analytical payload:
+    comparing e.g. the mean local queue length at "shipped" vs "local"
+    decisions shows the effective threshold a strategy applied.
+    """
+    decisions = list(decisions)
+    by_placement: dict[str, int] = {}
+    by_reason: dict[str, int] = {}
+    cross: dict[tuple[str, str], int] = {}
+    sums: dict[str, dict[str, list[float]]] = {}
+    for decision in decisions:
+        by_placement[decision.placement] = \
+            by_placement.get(decision.placement, 0) + 1
+        by_reason[decision.reason] = by_reason.get(decision.reason, 0) + 1
+        cross[(decision.placement, decision.reason)] = \
+            cross.get((decision.placement, decision.reason), 0) + 1
+        bucket = sums.setdefault(decision.placement, {})
+        for name in _INPUT_FIELDS:
+            value = getattr(decision, name)
+            if value is not None:
+                bucket.setdefault(name, []).append(value)
+    mean_inputs = {
+        placement: {name: sum(values) / len(values)
+                    for name, values in fields.items() if values}
+        for placement, fields in sums.items()}
+    mean_inputs = {placement: means
+                   for placement, means in mean_inputs.items() if means}
+    summary = AuditSummary(
+        strategy=strategy,
+        decisions=recorded if recorded is not None else len(decisions),
+        dropped=dropped,
+        by_placement=by_placement,
+        by_reason=by_reason,
+        mean_inputs=mean_inputs)
+    summary._cross = cross
+    return summary

@@ -1,0 +1,90 @@
+"""Shared CLI logging setup (``--verbose`` / ``--quiet``).
+
+All three entry points (``hybriddb-experiment``, ``hybriddb-verify``,
+``hybriddb-bench``) wire their diagnostics through one ``repro`` logger
+configured here, so verbosity behaves identically everywhere:
+
+==========  ==============================================
+flags       effective level
+==========  ==============================================
+``-q``      errors only
+(default)   warnings (diagnostics silent; reports still print)
+``-v``      informational progress (per-point runs, cache hits)
+``-vv``     debug detail
+==========  ==============================================
+
+Primary *results* stay on stdout via ``print`` -- logging carries the
+side-channel diagnostics only, on stderr, so piping report output into
+files or ``diff`` never captures progress chatter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+__all__ = ["add_logging_flags", "setup_cli_logging", "get_logger"]
+
+#: Root of the package logger hierarchy.
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+_VERBOSE_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the mutually exclusive ``-v``/``-q`` flags to a parser."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase diagnostic output (-v progress, -vv debug)")
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings; report errors only")
+
+
+def setup_cli_logging(args: argparse.Namespace | None = None, *,
+                      verbose: int = 0,
+                      quiet: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger from parsed CLI flags.
+
+    Accepts either the parsed namespace (fields added by
+    :func:`add_logging_flags`) or explicit keyword values.  Idempotent:
+    repeated calls reconfigure the same handler instead of stacking
+    duplicates (relevant to tests that invoke ``main()`` repeatedly).
+    """
+    if args is not None:
+        verbose = getattr(args, "verbose", verbose)
+        quiet = getattr(args, "quiet", quiet)
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    fmt = _VERBOSE_FORMAT if verbose >= 2 else _FORMAT
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_cli", False):
+            handler.setLevel(level)
+            handler.setFormatter(logging.Formatter(fmt))
+            return logger
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A child of the shared ``repro`` logger (e.g. ``repro.bench``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")

@@ -494,6 +494,15 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def next_event(self) -> "Event | None":
+        """The event at the calendar head, or ``None`` when empty.
+
+        Read-only companion to :meth:`peek` for observers (the engine
+        profiler classifies the head before dispatch); the calendar is
+        not modified.
+        """
+        return self._queue[0][3] if self._queue else None
+
     def step(self) -> None:
         """Process the next scheduled event."""
         queue = self._queue

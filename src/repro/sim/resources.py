@@ -81,6 +81,10 @@ class Resource:
         self.capacity = capacity
         self.users: list[Request] = []
         self.queue: list[Request] = []
+        #: Total service grants over the resource's lifetime (plain int
+        #: on the hot path; harvested into the metrics registry at
+        #: run end).
+        self.grants = 0
         self._ticket = itertools.count()
         # Cumulative busy time bookkeeping for utilisation measurement.
         self._busy_integral = 0.0
@@ -150,6 +154,7 @@ class Resource:
             nxt = min(self.queue, key=lambda r: r.key)
             self.queue.remove(nxt)
             self.users.append(nxt)
+            self.grants += 1
             nxt.succeed()
 
 

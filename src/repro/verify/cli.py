@@ -19,6 +19,7 @@ import argparse
 import os
 import sys
 
+from ..obs.logconf import add_logging_flags, setup_cli_logging
 from .base import Check, CheckResult, VerifySettings
 from .differential import DIFFERENTIAL_PAIRS
 from .golden import GOLDEN_DIR_ENV, GOLDEN_SCENARIOS, update_goldens
@@ -119,11 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--golden-dir", metavar="DIR", default=None,
                         help="directory for golden files (default: the "
                              "repo's tests/golden)")
+    add_logging_flags(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(args)
 
     if args.golden_dir:
         os.environ[GOLDEN_DIR_ENV] = args.golden_dir

@@ -17,6 +17,11 @@ Built-in pairs:
                             are read-only: every metric must match a
                             bare run (profile excluded -- the audit loop
                             schedules its own timeouts);
+``observers-vs-bare``       the full observability stack -- routing
+                            audit, engine profiler, shared metrics
+                            registry -- attached together must leave the
+                            run bit-identical to a bare one (full
+                            identity: none of them schedules events);
 ``class-b-mode-degenerate`` with no class B transactions the
                             ``central`` and ``remote-call`` execution
                             modes are the same system (full identity);
@@ -101,6 +106,37 @@ def _check_checker_vs_bare(settings: VerifySettings) -> tuple[bool, str]:
     return passed, details
 
 
+def _check_observers_vs_bare(settings: VerifySettings) -> tuple[bool, str]:
+    from ..obs.audit import RoutingAudit
+    from ..obs.profiler import EngineProfiler
+    from ..obs.registry import MetricsRegistry
+
+    run = _run_settings(settings)
+    bare = run_single(PAIR_STRATEGY, PAIR_RATE, settings=run)
+    audit = RoutingAudit()
+    profilers: list[EngineProfiler] = []
+    observed = run_single(
+        PAIR_STRATEGY, PAIR_RATE, settings=run,
+        registry=MetricsRegistry(), audit=audit,
+        instrument=lambda system: profilers.append(
+            EngineProfiler(system.env)))
+    # Full identity, profile included: unlike the invariant checker the
+    # observers schedule nothing, so even the event counts must match.
+    lines = diff(bare.identity_dict(), observed.identity_dict(),
+                 labels=("bare", "observed"))
+    passed, details = _report_identity(
+        "bare run", "audit+profiler+registry run", lines, bare)
+    if passed:
+        profiler = profilers[0]
+        details += (f"; audit recorded {audit.recorded} decision(s), "
+                    f"profiler timed {profiler.dispatches} dispatch(es)")
+        if profiler.dispatches != observed.engine_events:
+            passed = False
+            details += (f" BUT profiler dispatches != engine events "
+                        f"({observed.engine_events})")
+    return passed, details
+
+
 def _check_class_b_mode_degenerate(
         settings: VerifySettings) -> tuple[bool, str]:
     run = _run_settings(settings)
@@ -153,6 +189,11 @@ DIFFERENTIAL_PAIRS = registry([
           description="the invariant checker's hooks are read-only: all "
                       "metrics match a bare run",
           _run=_check_checker_vs_bare),
+    Check(name="observers-vs-bare", kind="differential",
+          description="the routing audit, engine profiler and metrics "
+                      "registry together do not perturb the sample path "
+                      "(full bit-identity)",
+          _run=_check_observers_vs_bare),
     Check(name="class-b-mode-degenerate", kind="differential",
           description="with no class B transactions the central and "
                       "remote-call modes are bit-identical",

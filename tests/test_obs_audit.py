@@ -1,0 +1,150 @@
+"""Unit tests for the routing-decision audit."""
+
+import json
+
+from repro.core.router import CentralSnapshot, RoutingObservation
+from repro.db.transaction import Transaction, TransactionClass
+from repro.obs.audit import (
+    RoutingAudit,
+    RoutingDecision,
+    summarize_decisions,
+)
+
+
+def _txn(txn_id=1, site=0, cls=TransactionClass.A):
+    return Transaction(txn_id=txn_id, txn_class=cls, home_site=site,
+                       references=(), arrival_time=0.0)
+
+
+def _observation(now=5.0, queue=3, snapshot_time=4.5):
+    return RoutingObservation(
+        now=now, site=0, local_queue_length=queue, local_n_txns=2,
+        local_locks_held=7, shipped_in_flight=1,
+        central=CentralSnapshot(time=snapshot_time, queue_length=9,
+                                n_txns=12, locks_held=40))
+
+
+class TestRecord:
+    def test_with_observation_captures_estimator_inputs(self):
+        audit = RoutingAudit(strategy="queue-length")
+        audit.record(_txn(), placement="shipped", reason="strategy",
+                     observation=_observation())
+        decision = audit.records[0]
+        assert decision.placement == "shipped"
+        assert decision.local_queue_length == 3
+        assert decision.central_queue_length == 9
+        assert decision.central_state_age == 0.5
+        assert decision.strategy == "queue-length"
+        assert decision.time == 5.0
+
+    def test_without_observation_inputs_are_none(self):
+        audit = RoutingAudit()
+        audit.record(_txn(), placement="central", reason="class-b",
+                     now=2.0)
+        decision = audit.records[0]
+        assert decision.local_queue_length is None
+        assert decision.time == 2.0
+        payload = json.loads(decision.to_json())
+        assert "local_queue_length" not in payload
+        assert payload["reason"] == "class-b"
+
+    def test_bootstrap_snapshot_age_is_none(self):
+        audit = RoutingAudit()
+        audit.record(_txn(), placement="local", reason="strategy",
+                     observation=_observation(
+                         snapshot_time=float("-inf")))
+        assert audit.records[0].central_state_age is None
+
+    def test_sink_receives_every_decision(self):
+        seen = []
+        audit = RoutingAudit(max_records=0, sink=seen.append)
+        audit.record(_txn(), placement="local", reason="strategy", now=1.0)
+        audit.record(_txn(2), placement="shipped", reason="strategy",
+                     now=2.0)
+        assert len(seen) == 2
+        assert not audit.records  # buffer disabled, sink-only
+        assert audit.recorded == 2
+
+
+class TestBoundedBuffer:
+    def test_drops_beyond_max_records(self):
+        audit = RoutingAudit(max_records=2)
+        for index in range(5):
+            audit.record(_txn(index), placement="local",
+                         reason="strategy", now=float(index))
+        assert len(audit.records) == 2
+        assert audit.recorded == 5
+        assert audit.dropped == 3
+
+    def test_write_jsonl_marks_truncation(self, tmp_path):
+        audit = RoutingAudit(max_records=1)
+        audit.record(_txn(1), placement="local", reason="strategy",
+                     now=1.0)
+        audit.record(_txn(2), placement="local", reason="strategy",
+                     now=2.0)
+        target = tmp_path / "audit.jsonl"
+        written = audit.write_jsonl(target)
+        lines = target.read_text().splitlines()
+        assert written == 2  # one record + the truncation marker
+        assert json.loads(lines[-1]) == {"truncated": True,
+                                         "dropped": 1, "recorded": 2}
+
+    def test_write_jsonl_complete_file_has_no_marker(self, tmp_path):
+        audit = RoutingAudit()
+        audit.record(_txn(), placement="local", reason="strategy",
+                     now=1.0)
+        target = tmp_path / "audit.jsonl"
+        assert audit.write_jsonl(target) == 1
+        lines = target.read_text().splitlines()
+        assert len(lines) == 1
+        assert "truncated" not in lines[0]
+
+
+class TestSummary:
+    def _decisions(self):
+        return [
+            RoutingDecision(time=1.0, txn_id=1, site=0, txn_class="A",
+                            placement="local", reason="strategy",
+                            strategy="s", local_queue_length=1),
+            RoutingDecision(time=2.0, txn_id=2, site=0, txn_class="A",
+                            placement="shipped", reason="strategy",
+                            strategy="s", local_queue_length=5),
+            RoutingDecision(time=3.0, txn_id=3, site=1, txn_class="B",
+                            placement="central", reason="class-b",
+                            strategy="s"),
+        ]
+
+    def test_counts_and_means(self):
+        summary = summarize_decisions(self._decisions(), strategy="s")
+        assert summary.decisions == 3
+        assert summary.by_placement == {"local": 1, "shipped": 1,
+                                        "central": 1}
+        assert summary.by_reason == {"strategy": 2, "class-b": 1}
+        assert summary.mean_inputs["local"]["local_queue_length"] == 1.0
+        assert summary.mean_inputs["shipped"]["local_queue_length"] == 5.0
+        # The forced class-b decision carried no inputs.
+        assert "central" not in summary.mean_inputs
+
+    def test_ship_fraction_counts_strategic_decisions_only(self):
+        summary = summarize_decisions(self._decisions())
+        assert summary.ship_fraction == 0.5
+
+    def test_accepts_a_generator(self):
+        summary = summarize_decisions(iter(self._decisions()))
+        assert summary.decisions == 3
+
+    def test_empty_summary(self):
+        summary = summarize_decisions([], strategy="s")
+        assert summary.decisions == 0
+        assert summary.ship_fraction == 0.0
+        assert "none" in summary.format()
+
+    def test_format_renders_all_sections(self):
+        audit = RoutingAudit(strategy="s")
+        audit.record(_txn(), placement="shipped", reason="strategy",
+                     observation=_observation())
+        text = audit.summary().format()
+        assert "routing audit [s]" in text
+        assert "placements:" in text
+        assert "shipped" in text
+        assert "local queue length" in text

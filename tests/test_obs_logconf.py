@@ -1,0 +1,101 @@
+"""Unit tests for the shared CLI logging setup."""
+
+import argparse
+import logging
+
+import pytest
+
+from repro.obs.logconf import (
+    LOGGER_NAME,
+    add_logging_flags,
+    get_logger,
+    setup_cli_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """Strip CLI handlers so each test configures from a clean slate."""
+    logger = logging.getLogger(LOGGER_NAME)
+    saved = list(logger.handlers)
+    saved_level = logger.level
+    yield
+    logger.handlers[:] = saved
+    logger.setLevel(saved_level)
+
+
+def _parse(argv):
+    parser = argparse.ArgumentParser()
+    add_logging_flags(parser)
+    return parser.parse_args(argv)
+
+
+def _cli_handlers(logger):
+    return [h for h in logger.handlers
+            if getattr(h, "_repro_cli", False)]
+
+
+class TestVerbosityMapping:
+    @pytest.mark.parametrize("argv, level", [
+        ([], logging.WARNING),
+        (["-v"], logging.INFO),
+        (["-vv"], logging.DEBUG),
+        (["-q"], logging.ERROR),
+    ])
+    def test_flags_map_to_levels(self, argv, level):
+        logger = setup_cli_logging(_parse(argv))
+        assert logger.level == level
+        (handler,) = _cli_handlers(logger)
+        assert handler.level == level
+
+    def test_keyword_form_matches_namespace_form(self):
+        assert setup_cli_logging(verbose=1).level == logging.INFO
+        assert setup_cli_logging(quiet=True).level == logging.ERROR
+
+    def test_namespace_without_flags_defaults_to_warning(self):
+        # A CLI that forgot add_logging_flags still configures sanely.
+        logger = setup_cli_logging(argparse.Namespace())
+        assert logger.level == logging.WARNING
+
+
+class TestHandlerHygiene:
+    def test_repeated_setup_does_not_stack_handlers(self):
+        for argv in ([], ["-v"], ["-q"], ["-vv"]):
+            logger = setup_cli_logging(_parse(argv))
+        assert len(_cli_handlers(logger)) == 1
+        # Last call wins.
+        assert logger.level == logging.DEBUG
+
+    def test_does_not_propagate_to_root(self):
+        assert setup_cli_logging(_parse([])).propagate is False
+
+    def test_debug_format_includes_timestamp(self):
+        logger = setup_cli_logging(_parse(["-vv"]))
+        (handler,) = _cli_handlers(logger)
+        assert "asctime" in handler.formatter._fmt
+        logger = setup_cli_logging(_parse([]))
+        (handler,) = _cli_handlers(logger)
+        assert "asctime" not in handler.formatter._fmt
+
+
+class TestFlags:
+    def test_verbose_and_quiet_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse(["-v", "-q"])
+        assert excinfo.value.code == 2
+        assert "not allowed" in capsys.readouterr().err
+
+
+class TestGetLogger:
+    def test_child_logger_namespacing(self):
+        assert get_logger("bench").name == f"{LOGGER_NAME}.bench"
+        assert get_logger().name == LOGGER_NAME
+
+    def test_child_respects_configured_level(self, capsys):
+        setup_cli_logging(_parse(["-q"]))
+        child = get_logger("unit-test")
+        child.warning("should be suppressed")
+        child.error("should appear")
+        err = capsys.readouterr().err
+        assert "suppressed" not in err
+        assert "should appear" in err
