@@ -50,7 +50,9 @@ __all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
 #: Bump to invalidate every existing cache entry (simulator semantics
 #: change, result-schema change, ...).
 #: 2: SimulationResult gained the ``metrics`` registry-snapshot field.
-CACHE_VERSION = 2
+#: 3: stream-name key derivation fixed (full-digest spawn keys) -- every
+#:    sample path shifted, so pre-fix results are not comparable.
+CACHE_VERSION = 3
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "HYBRIDDB_CACHE_DIR"

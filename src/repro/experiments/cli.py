@@ -34,8 +34,8 @@ from .cache import ResultCache, default_cache_dir
 from .export import write_figure_csv, write_telemetry, write_trace_jsonl
 from .figures import ALL_FIGURES
 from .report import curve_summary, execution_summary, figure_report, \
-    run_report
-from .runner import PrecisionSettings, RunSettings, run_single
+    point_report, run_report
+from .runner import PrecisionSettings, RunSettings, run_point, run_single
 from .validation import validate_model
 
 __all__ = ["main", "build_parser"]
@@ -74,7 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(STRATEGIES),
                         help="run one strategy once and report its "
                              "response-time decomposition, telemetry "
-                             "and engine profile")
+                             "and engine profile; with --replications N "
+                             "(N > 1) the replications fan out over "
+                             "--workers processes and the merged point "
+                             "is reported instead")
     parser.add_argument("--rate", type=float, default=30.0,
                         help="total arrival rate for --run "
                              "(default 30.0 txn/s)")
@@ -183,6 +186,23 @@ def _resolve_plan(args, settings: RunSettings):
                               settings.scale,
                               measure_time=settings.measure_time *
                               settings.scale)
+
+
+def _run_replicated_point(args, settings: RunSettings, workers: int,
+                          cache: ResultCache | None) -> int:
+    """``--run`` with ``--replications`` > 1: fan replications over the
+    worker pool (``base_seed + r`` seeds, exactly like curve points) and
+    report the merged point.  The merged numbers are independent of the
+    worker count."""
+    fault_plan = _resolve_plan(args, settings)
+    started = time.time()
+    point = run_point(args.run, args.rate, comm_delay=args.comm_delay,
+                      settings=settings, workers=workers, cache=cache,
+                      fault_plan=fault_plan)
+    elapsed = time.time() - started
+    print(point_report(point, comm_delay=args.comm_delay))
+    print("\n" + execution_summary(elapsed, workers=workers, cache=cache))
+    return 0
 
 
 def _run_single(args, settings: RunSettings) -> int:
@@ -331,8 +351,19 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --fault-plan requires --run or --availability",
               file=sys.stderr)
         return 2
+    if args.run and args.replications > 1 and (
+            args.telemetry or args.trace_out or args.metrics_out or
+            args.profile or args.hot_paths or args.audit or args.audit_out):
+        print("error: --telemetry/--trace-out/--metrics-out/--profile/"
+              "--hot-paths/--audit/--audit-out observe one in-process "
+              "run; use --replications 1 with them", file=sys.stderr)
+        return 2
     if args.run:
-        code = _run_single(args, settings)
+        if args.replications > 1:
+            code = _run_replicated_point(args, settings, workers=workers,
+                                         cache=cache)
+        else:
+            code = _run_single(args, settings)
         if not args.figure:
             return code
     if args.availability:

@@ -24,7 +24,8 @@ from .figures import FigureData
 from .runner import Curve, CurvePoint
 
 __all__ = ["format_table", "sparkline", "figure_report", "curve_summary",
-           "metrics_dashboard", "run_report", "execution_summary"]
+           "metrics_dashboard", "run_report", "point_report",
+           "execution_summary"]
 
 _SPARK_LEVELS = " .:-=+*#%@"
 
@@ -288,6 +289,40 @@ def run_report(result, fault_plan_active: bool = False) -> str:
     if result.metrics:
         lines.append("")
         lines.append(metrics_dashboard(result.metrics))
+    return "\n".join(lines)
+
+
+def point_report(point: CurvePoint, comm_delay: float) -> str:
+    """The merged replicated-run text block (``--run --replications N``).
+
+    Cross-replication averages with the achieved confidence interval,
+    plus one row per replication so outliers are visible.  The numbers
+    are bit-identical whatever ``--workers`` executed the replications
+    (the parallel layer zeroes wall-clock-derived fields before
+    merging).
+    """
+    replications = point.replications
+    strategy = replications[0].strategy if replications else "?"
+    lines = [
+        f"{strategy} @ rate={point.total_rate:g} txn/s, "
+        f"comm_delay={comm_delay:g}s, "
+        f"{point.n_replications} replication(s)",
+        f"  mean response time  {point.mean_response_time:.4f} s"
+        + (f"  (95% CI half-width {point.rt_half_width:.4f})"
+           if point.rt_interval is not None else ""),
+        f"  throughput          {point.throughput:.2f} txn/s",
+        f"  shipped fraction    {point.shipped_fraction:.1%}",
+        f"  abort rate          {point.abort_rate:.3f}",
+        f"  local utilization   {point.local_utilization:.1%}",
+        f"  central utilization {point.central_utilization:.1%}",
+    ]
+    if replications:
+        lines.append("")
+        lines.append(format_table(
+            ("seed", "mean RT", "throughput", "aborts", "events"),
+            [(str(r.seed), f"{r.mean_response_time:.4f}",
+              f"{r.throughput:.2f}", f"{r.abort_rate:.3f}",
+              f"{r.engine_events:,}") for r in replications]))
     return "\n".join(lines)
 
 

@@ -61,7 +61,13 @@ class BenchmarkDef:
 BENCHMARKS: dict[str, BenchmarkDef] = {
     "engine_throughput": BenchmarkDef(
         name="engine_throughput", metric="events_per_sec",
-        description="kernel dispatch rate of one hot queue-length run"),
+        description="raw kernel dispatch rate over a pure-DES event mix "
+                    "(timeouts, immediate events, processes, resources, "
+                    "interrupts -- no protocol code)"),
+    "system_throughput": BenchmarkDef(
+        name="system_throughput", metric="events_per_sec",
+        description="end-to-end dispatch rate of one hot queue-length "
+                    "run (kernel + full protocol stack)"),
     "figure_4_1": BenchmarkDef(
         name="figure_4_1", metric="seconds",
         description="wall-clock of the Figure 4.1 sweep (serial, "
@@ -73,9 +79,149 @@ def _utc_stamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def kernel_workload(horizon: float = 400.0):
+    """Build and run the pure-kernel benchmark mix; returns the env.
+
+    A deterministic event mix exercising every kernel path the hybrid
+    protocol leans on, with zero protocol code in the loop, so the
+    measured rate is the kernel's and a kernel regression cannot hide
+    behind protocol cost:
+
+    * staggered timeout loops (the calendar's steady-state churn),
+    * zero-delay event chains (``succeed`` -- the immediate band),
+    * contended resource request/hold/release cycles (grant callbacks),
+    * short-lived processes spawned and joined (init/termination),
+    * periodic interrupts (priority-0 pre-emption),
+    * ``AnyOf`` races of a timeout against a signal, and
+    * a sparse far-future backlog (the overflow band).
+
+    The component weights mirror the dispatch mix of a real protocol
+    run.  Profiling ``queue-length`` at scale 0.3 with the engine
+    profiler classifies ~95k dispatches as 40% timeouts, 31% bare
+    events, 17% resource grants and ~11% process wake-ups/joins --
+    i.e. roughly half of all real dispatches are zero-delay
+    (immediate-band) events.  The loops below reproduce those shares
+    (~41% timeouts / ~49% zero-delay / ~10% process churn), so the
+    measured rate predicts protocol-run kernel cost rather than an
+    arbitrary synthetic blend.
+    """
+    from ..sim.engine import AnyOf, Environment, Interrupt
+    from ..sim.resources import Resource
+
+    env = Environment()
+    resource = Resource(env, capacity=4)
+
+    def timer(delay):
+        while True:
+            yield env.timeout(delay)
+
+    def chained():
+        while True:
+            yield env.timeout(0.5)
+            for _ in range(16):
+                event = env.event()
+                event.succeed(None)
+                yield event
+
+    def holder():
+        # Persistent contender: each cycle is one zero-delay grant plus
+        # one timeout -- the lock-acquire/hold shape of the protocol's
+        # resource traffic, without process-spawn cost in the loop.
+        while True:
+            with resource.request() as req:
+                yield req
+                yield env.timeout(0.08)
+
+    def worker():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(0.05)
+        return None
+
+    def spawner():
+        while True:
+            yield env.timeout(1.0)
+            yield env.process(worker())
+
+    def interruptible():
+        while True:
+            try:
+                yield env.timeout(1000.0)
+            except Interrupt:
+                pass
+
+    def interrupter(victim):
+        while True:
+            yield env.timeout(2.5)
+            victim.interrupt("tick")
+
+    def racer():
+        while True:
+            signal = env.event()
+            timeout = env.timeout(0.75)
+            signal.succeed("won")
+            yield AnyOf(env, [signal, timeout])
+            yield env.timeout(0.25)
+
+    for i in range(24):
+        env.process(timer(0.11 + i * 0.017))
+    for _ in range(4):
+        env.process(chained())
+    for _ in range(8):
+        env.process(holder())
+    for _ in range(4):
+        env.process(spawner())
+    for _ in range(4):
+        victim = env.process(interruptible())
+        env.process(interrupter(victim))
+    for _ in range(4):
+        env.process(racer())
+    # Sparse far-future backlog: keeps a populated far band / deep heap
+    # under the feet of the hot near-term traffic for the whole run.
+    def sleeper(delay):
+        yield env.timeout(delay)
+    for i in range(2_000):
+        env.process(sleeper(horizon * 2.0 + i * 0.37))
+    env.run(until=horizon)
+    return env
+
+
 def _run_engine_throughput(scale: float, repeat: int,
                            handicap: float) -> dict:
-    """Best-of-``repeat`` dispatch rate (best damps scheduler noise)."""
+    """Best-of-``repeat`` raw kernel dispatch rate.
+
+    The event count is simulation-deterministic (fixed workload, fixed
+    horizon); only the elapsed wall-clock varies between attempts.
+    """
+    horizon = 400.0 * (scale / 0.1)
+    best_rate = 0.0
+    events = 0
+    for attempt in range(repeat):
+        began = time.perf_counter()
+        env = kernel_workload(horizon=horizon)
+        elapsed = time.perf_counter() - began
+        events = env.events_processed
+        rate = events / elapsed if elapsed > 0 else 0.0
+        log.info("engine_throughput attempt %d/%d: %.0f events/s",
+                 attempt + 1, repeat, rate)
+        if rate > best_rate:
+            best_rate = rate
+    return {
+        "benchmark": "engine_throughput",
+        "scale": scale,
+        "repeat": repeat,
+        "horizon": horizon,
+        "events": events,
+        "events_per_sec": round(best_rate / handicap, 1),
+        "seconds": round(events / best_rate * handicap, 3)
+        if best_rate else 0.0,
+        "recorded_at": _utc_stamp(),
+    }
+
+
+def _run_system_throughput(scale: float, repeat: int,
+                           handicap: float) -> dict:
+    """Best-of-``repeat`` end-to-end dispatch rate (kernel + protocol)."""
     from ..experiments.runner import RunSettings, run_single
 
     settings = RunSettings(warmup_time=5.0 * scale,
@@ -83,13 +229,13 @@ def _run_engine_throughput(scale: float, repeat: int,
     best = None
     for attempt in range(repeat):
         result = run_single("queue-length", 18.0, settings=settings)
-        log.info("engine_throughput attempt %d/%d: %.0f events/s",
+        log.info("system_throughput attempt %d/%d: %.0f events/s",
                  attempt + 1, repeat, result.engine_events_per_sec)
         if best is None or \
                 result.engine_events_per_sec > best.engine_events_per_sec:
             best = result
     return {
-        "benchmark": "engine_throughput",
+        "benchmark": "system_throughput",
         "scale": scale,
         "repeat": repeat,
         "strategy": "queue-length",
@@ -132,6 +278,7 @@ def _run_figure(scale: float, repeat: int, handicap: float) -> dict:
 
 _RUNNERS = {
     "engine_throughput": _run_engine_throughput,
+    "system_throughput": _run_system_throughput,
     "figure_4_1": _run_figure,
 }
 
@@ -341,7 +488,15 @@ def main(argv: list[str] | None = None) -> int:
     # gate: run + compare
     if args.out:
         _write_records(records, args.out)
-    comparisons = compare_records(_load_records(args.baseline), records,
+    baseline_records = _load_records(args.baseline)
+    if args.bench:
+        # A selective gate (--bench NAME) judges only the selected
+        # benchmarks; baseline entries for unselected ones must not
+        # count as "missing from current run".
+        selected = set(args.bench)
+        baseline_records = [record for record in baseline_records
+                            if record.get("benchmark") in selected]
+    comparisons = compare_records(baseline_records, records,
                                   tolerance=args.tolerance)
     print(f"Gating against {args.baseline} "
           f"(scale={args.scale:g}, tolerance=+-{args.tolerance:.0%})")

@@ -114,10 +114,10 @@ class EngineProfiler:
         env = self.env
 
         def profiled_step() -> None:
-            queue = env._queue
-            if queue:
-                kind = _classify(queue[0][3])
-                depth = len(queue)
+            head = env.next_event()
+            if head is not None:
+                kind = _classify(head)
+                depth = env.calendar_depth
                 heap.samples += 1
                 heap.depth_sum += depth
                 if depth > heap.depth_max:
@@ -163,6 +163,7 @@ class EngineProfiler:
                 "churn": round(self.heap.scheduled /
                                max(self.dispatches, 1), 3),
             },
+            "calendar": self.env.calendar_stats(),
             "event_types": [
                 {"type": kind, "count": stat.count,
                  "seconds": round(stat.seconds, 6),
@@ -177,6 +178,7 @@ class EngineProfiler:
         """Human-readable dispatch profile."""
         doc = self.summary()
         heap = doc["heap"]
+        calendar = doc["calendar"]
         lines = [
             f"engine profile: {doc['dispatches']} dispatch(es) in "
             f"{doc['elapsed_seconds']:.3f}s "
@@ -184,6 +186,11 @@ class EngineProfiler:
             f"calendar: mean depth {heap['mean_depth']:.1f}, peak "
             f"{heap['peak_depth']}, churn {heap['churn']:.2f} "
             f"scheduled/dispatch",
+            f"structure: {calendar['buckets']} bucket(s) "
+            f"({calendar['buckets_used']} occupied, max occupancy "
+            f"{calendar['max_bucket_occupancy']}), "
+            f"{calendar['overflow']} far-future, "
+            f"{calendar['rebuilds']} rebuild(s)",
             f"{'event type':<32} {'count':>10} {'time':>9} "
             f"{'share':>6} {'mean':>9}",
         ]

@@ -11,13 +11,49 @@ spawning.  This gives two properties that matter for simulation studies:
   same seed exposes them to the same arrival pattern and data references,
   which sharpens paired comparisons (a classic variance-reduction
   technique and the reason the paper can rank closely-spaced curves).
+
+The samplers pre-draw in growing vectorised batches: one
+``Generator.exponential(size=n)`` call is bit-identical to ``n`` scalar
+calls on the same generator (and likewise for ``integers``), so the
+*delivered* per-stream draw order -- the only thing the simulation ever
+observes -- is unchanged by buffering.  The buffer travels with the
+sampler through pickling, so a sampler restored inside a
+:class:`~repro.experiments.parallel.ParallelRunner` worker continues the
+exact sequence.  A sampler therefore assumes *exclusive* ownership of
+its generator: drawing from the underlying stream directly while a
+sampler holds buffered values would desynchronise the two.  Every
+sampler in this codebase is built on a name no other component touches.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 __all__ = ["RandomStreams", "ExponentialSampler", "UniformIntSampler"]
+
+
+def _name_key(name: str) -> tuple[int, ...]:
+    """Spawn-key words derived from the *full* stream name.
+
+    A fixed-length blake2b digest keyed by every byte of the name: two
+    distinct names always get distinct keys (up to hash collisions on a
+    256-bit digest).  The previous derivation truncated the name to its
+    first 16 bytes, silently aliasing any streams whose names shared a
+    16-byte prefix -- e.g. two long per-site stream families.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=32).digest()
+    return tuple(int.from_bytes(digest[i:i + 4], "little")
+                 for i in range(0, 32, 4))
+
+#: Pre-draw batch sizing: start small so short-lived samplers do not
+#: waste entropy (the unused tail of a batch is simply never observed,
+#: which is harmless for determinism but costs the vector-draw time),
+#: then double up to the limit so long-running arrival streams amortise
+#: the numpy call overhead over ~a thousand draws.
+_BATCH_START = 64
+_BATCH_LIMIT = 1024
 
 
 class RandomStreams:
@@ -40,12 +76,9 @@ class RandomStreams:
         if gen is None:
             # Derive a child seed deterministically from the stream name so
             # that creation *order* does not matter.
-            digest = np.frombuffer(
-                name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32)
             child = np.random.SeedSequence(
                 entropy=self._root.entropy,
-                spawn_key=tuple(self._root.spawn_key) +
-                tuple(int(x) for x in digest))
+                spawn_key=tuple(self._root.spawn_key) + _name_key(name))
             gen = np.random.Generator(np.random.PCG64(child))
             self._streams[name] = gen
         return gen
@@ -63,30 +96,56 @@ class RandomStreams:
         """Derive an independent child :class:`RandomStreams`."""
         child = RandomStreams.__new__(RandomStreams)
         child.seed = self.seed
-        digest = np.frombuffer(
-            name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32)
         child._root = np.random.SeedSequence(
             entropy=self._root.entropy,
-            spawn_key=(0xFFFF,) + tuple(int(x) for x in digest))
+            spawn_key=(0xFFFF,) + _name_key(name))
         child._streams = {}
         return child
 
 
 class ExponentialSampler:
-    """Draws exponential variates with a fixed rate (mean ``1/rate``)."""
+    """Draws exponential variates with a fixed rate (mean ``1/rate``).
+
+    Draws are pre-computed in growing vectorised batches; the delivered
+    sequence is bit-identical to scalar-by-scalar draws on the same
+    generator (see the module docstring for the ownership contract).
+    """
 
     def __init__(self, generator: np.random.Generator, rate: float):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self._generator = generator
         self.rate = float(rate)
+        self._scale = 1.0 / self.rate
+        self._buffer: list[float] = []
+        self._next = 0
+        self._batch = _BATCH_START
+
+    def _refill(self) -> None:
+        self._buffer = self._generator.exponential(
+            self._scale, size=self._batch).tolist()
+        self._next = 0
+        if self._batch < _BATCH_LIMIT:
+            self._batch = min(self._batch * 2, _BATCH_LIMIT)
 
     def __call__(self) -> float:
-        return float(self._generator.exponential(1.0 / self.rate))
+        i = self._next
+        buffer = self._buffer
+        if i >= len(buffer):
+            self._refill()
+            buffer = self._buffer
+            i = 0
+        self._next = i + 1
+        return buffer[i]
 
 
 class UniformIntSampler:
-    """Draws uniform integers from ``[low, high)``."""
+    """Draws uniform integers from ``[low, high)``.
+
+    Scalar calls and :meth:`sample` vectors are served from one shared
+    pre-draw buffer, so the delivered order matches an unbuffered
+    sampler draw-for-draw no matter how the two entry points interleave.
+    """
 
     def __init__(self, generator: np.random.Generator, low: int, high: int):
         if high <= low:
@@ -94,10 +153,35 @@ class UniformIntSampler:
         self._generator = generator
         self.low = int(low)
         self.high = int(high)
+        self._buffer: list[int] = []
+        self._next = 0
+        self._batch = _BATCH_START
+
+    def _refill(self, need: int = 1) -> None:
+        size = max(self._batch, need)
+        self._buffer = self._generator.integers(
+            self.low, self.high, size=size).tolist()
+        self._next = 0
+        if self._batch < _BATCH_LIMIT:
+            self._batch = min(self._batch * 2, _BATCH_LIMIT)
 
     def __call__(self) -> int:
-        return int(self._generator.integers(self.low, self.high))
+        i = self._next
+        buffer = self._buffer
+        if i >= len(buffer):
+            self._refill()
+            buffer = self._buffer
+            i = 0
+        self._next = i + 1
+        return buffer[i]
 
     def sample(self, size: int) -> np.ndarray:
         """Vector of ``size`` draws (used for per-transaction lock sets)."""
-        return self._generator.integers(self.low, self.high, size=size)
+        out: list[int] = []
+        while len(out) < size:
+            if self._next >= len(self._buffer):
+                self._refill(size - len(out))
+            take = min(len(self._buffer) - self._next, size - len(out))
+            out.extend(self._buffer[self._next:self._next + take])
+            self._next += take
+        return np.asarray(out, dtype=np.int64)

@@ -184,6 +184,23 @@ class TestCli:
         # --out still snapshots the (distorted) current records.
         assert json.loads(out.read_text())
 
+    def test_selective_gate_ignores_unselected_baseline_entries(
+            self, tmp_path, capsys, deterministic_engine_bench):
+        """``gate --bench NAME`` must not fail because the baseline
+        also holds records for benchmarks that were not selected."""
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps([
+            _record(events_per_sec=150_000.0),
+            {"benchmark": "figure_4_1", "seconds": 10.0},
+            {"benchmark": "system_throughput",
+             "events_per_sec": 120_000.0},
+        ]))
+        code = main(["gate", "--baseline", str(baseline),
+                     "--scale", "0.02", "--bench", "engine_throughput"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "MISSING" not in out
+
     @pytest.mark.parametrize("argv", [
         ["run", "--out", "x.json", "--scale", "0"],
         ["run", "--out", "x.json", "--repeat", "0"],

@@ -1,0 +1,235 @@
+"""Ordering edge cases of the calendar-queue event core.
+
+The calendar replaced the binary heap; these tests pin the corners of
+the ``(time, priority, seq)`` total order the structure must preserve:
+same-time interrupt pre-emption, FIFO stability inside one bucket, the
+run-horizon boundary landing exactly on a bucket edge, promotion out of
+the far-future overflow band, and the empty-calendar stop signal.
+"""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, StopSimulation
+
+
+def test_same_time_interrupt_preempts_normal_event():
+    """An interrupt raised at time t fires before normal events at t."""
+    env = Environment()
+    order = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            order.append(("interrupted", env.now))
+
+    target = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        target.interrupt("now")
+
+    def observer(env):
+        # Scheduled *after* the interrupter, so its t=5 timeout has a
+        # later sequence number -- yet the interrupt, entering the
+        # priority-0 band at t=5, must still run first.
+        yield env.timeout(5)
+        order.append(("observer", env.now))
+
+    env.process(interrupter(env))
+    env.process(observer(env))
+    env.run()
+    assert order == [("interrupted", 5), ("observer", 5)]
+
+
+def test_fifo_seq_stability_within_a_bucket():
+    """Equal-time entries in one bucket fire in scheduling order."""
+    env = Environment()
+    fired = []
+
+    def waiter(env, tag):
+        yield env.timeout(5.0)
+        fired.append(tag)
+
+    for tag in range(32):
+        env.process(waiter(env, tag))
+    env.run()
+    assert fired == list(range(32))
+
+
+def test_distinct_times_in_one_bucket_sort_by_time():
+    """A bucket holding several timestamps drains them time-ordered."""
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    # First enqueue calibrates bucket width to 100.0, so every one of
+    # these near-term events lands in the same (head) bucket.
+    env.process(waiter(env, 100.0))
+    for delay in (7.0, 3.0, 5.0, 1.0, 9.0):
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == [1.0, 3.0, 5.0, 7.0, 9.0, 100.0]
+
+
+def test_run_horizon_exactly_on_bucket_edge():
+    """``until`` equal to an event time dispatches that event, then
+    parks the clock exactly on the horizon."""
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    # Calibration makes the bucket width 1.0 with t0 = 0, so both event
+    # times sit exactly on bucket edges.
+    env.process(waiter(env, 1.0))
+    env.process(waiter(env, 2.0))
+    env.run(until=1.0)
+    assert fired == [1.0]
+    assert env.now == 1.0
+    env.run(until=2.0)
+    assert fired == [1.0, 2.0]
+    assert env.now == 2.0
+
+
+def test_overflow_band_promotion():
+    """Events beyond the calendar window surface via the overflow heap
+    in the correct order once the window drains up to them."""
+    env = Environment()
+    fired = []
+
+    # Width calibrates to 0.01 -> the initial window spans ~2.56 time
+    # units; everything later must take the overflow path.
+    timeouts = [env.timeout(delay)
+                for delay in (0.01, 5000.0, 40.0, 1000.0, 41.0)]
+    assert env.calendar_stats()["overflow"] == 4
+
+    def waiter(env, event):
+        yield event
+        fired.append(env.now)
+
+    for event in timeouts:
+        env.process(waiter(env, event))
+    env.run()
+    assert fired == [0.01, 40.0, 41.0, 1000.0, 5000.0]
+    stats = env.calendar_stats()
+    assert stats["depth"] == 0
+    assert stats["overflow"] == 0
+
+
+def test_empty_calendar_step_raises_stop_simulation():
+    env = Environment()
+    with pytest.raises(StopSimulation):
+        env.step()
+    # run() on an empty calendar is a no-op, not an error.
+    assert env.run() is None
+    assert env.now == 0.0
+
+
+def test_pooled_and_unpooled_runs_are_identical():
+    """Event pooling must not change order, times or values."""
+
+    def workload(env, log):
+        def producer(env):
+            for i in range(50):
+                yield env.timeout(0.3)
+                log.append(("tick", env.now, i))
+
+        def churner(env):
+            for i in range(80):
+                yield env.timeout(0.17)
+                event = env.event()
+                event.succeed(i)
+                value = yield event
+                log.append(("churn", env.now, value))
+
+        env.process(producer(env))
+        env.process(churner(env))
+        env.run(until=14.0)
+
+    plain, pooled = [], []
+    workload(Environment(event_pooling=False), plain)
+    workload(Environment(event_pooling=True), pooled)
+    assert plain == pooled
+
+
+def test_calendar_stats_shape():
+    env = Environment()
+
+    def waiter(env):
+        yield env.timeout(1.0)
+
+    env.process(waiter(env))
+    stats = env.calendar_stats()
+    assert stats["depth"] == env.calendar_depth == 1
+    assert stats["immediate"] == 1  # the process-init event
+    env.run(until=0.5)  # start the process; its timeout enters the window
+    stats = env.calendar_stats()
+    assert stats["depth"] == 1
+    assert stats["window"] == 1
+    assert stats["buckets"] >= 1
+    assert stats["max_bucket_occupancy"] == 1
+    assert stats["rebuilds"] == 0
+
+
+def test_unsplittable_cluster_does_not_rebuild_forever():
+    """A same-timestamp cluster wider than the split floor must not
+    trigger a rebuild storm.
+
+    Re-spreading targets one entry per bucket, but entries sharing one
+    timestamp always land together: when such a cluster alone exceeds
+    the split floor (thousands of retry timers armed with an identical
+    deadline during an outage), a rebuild reproduces the exact same
+    layout -- retrying it made ``_refresh_head`` loop forever.  The
+    futility guard must serve the cluster instead, in seq (FIFO) order.
+    """
+    env = Environment()
+    fired = []
+
+    def sleeper(env, i, delay):
+        yield env.timeout(delay)
+        fired.append((env.now, i))
+
+    # 600 timers sharing one deadline (far beyond the split floor of
+    # one bucket) plus a handful of spread entries so the window span
+    # is nonzero and the cluster stays narrower than span/count.
+    for i in range(600):
+        env.process(sleeper(env, i, 10.0))
+    for j in range(10):
+        env.process(sleeper(env, 600 + j, 12.0 + 5.0 * j))
+    env.run()
+
+    assert len(fired) == 610
+    cluster = [i for now, i in fired if now == 10.0]
+    assert cluster == list(range(600))  # FIFO within the shared time
+    assert fired == sorted(fired, key=lambda pair: pair[0])
+
+
+def test_cluster_rebuild_guard_keeps_pooled_run_identical():
+    """The futility guard must not change order with pooling on."""
+
+    def workload(env, log):
+        def burst(env, i):
+            yield env.timeout(5.0)
+            log.append(("burst", env.now, i))
+
+        def spread(env, j):
+            yield env.timeout(6.0 + 3.0 * j)
+            log.append(("spread", env.now, j))
+
+        for i in range(200):
+            env.process(burst(env, i))
+        for j in range(8):
+            env.process(spread(env, j))
+        env.run()
+
+    from repro.sim import Environment as Env
+    plain, pooled = [], []
+    workload(Env(event_pooling=False), plain)
+    workload(Env(event_pooling=True), pooled)
+    assert plain == pooled
