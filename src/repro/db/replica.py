@@ -56,6 +56,15 @@ class ReplicaStore:
         return frozenset(entity for entity, count in self._counts.items()
                          if count)
 
+    def restore(self, counts: dict[int, int]) -> None:
+        """Install a snapshot (crash recovery): replace all counters."""
+        self._counts = defaultdict(int)
+        total = 0
+        for entity, count in counts.items():
+            self._counts[entity] = count
+            total += count
+        self.total_updates = total
+
     def snapshot(self) -> dict[int, int]:
         return {entity: count for entity, count in self._counts.items()
                 if count}

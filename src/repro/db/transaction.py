@@ -116,6 +116,12 @@ class Transaction:
     first_run_started_at: float | None = None
     completed_at: float | None = None
 
+    #: End-to-end deadline (absolute sim time), stamped at admission
+    #: when the fault plan's overload control arms one; ``None``
+    #: otherwise.  Propagated through shipment and authentication
+    #: messages so doomed work is cancelled early.
+    deadline: float | None = None
+
     # Entities currently locked by this transaction at its execution site
     # (subset of the reference string; maintained by the site logic).
     locked_entities: list[int] = field(default_factory=list)

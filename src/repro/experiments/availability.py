@@ -21,7 +21,7 @@ ranking -- which is exactly what this table makes visible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..hybrid.metrics import SimulationResult
@@ -42,11 +42,17 @@ AVAILABILITY_STRATEGIES = ("none", "static-optimal",
 
 @dataclass(frozen=True)
 class AvailabilityPoint:
-    """One strategy's fault-free and faulted outcomes, side by side."""
+    """One strategy's fault-free and faulted outcomes, side by side.
+
+    ``failover`` holds the optional third run -- same faults, but with
+    the hot-standby recovery policy enabled -- so the table can show
+    what the survivability machinery buys over riding the outage out.
+    """
 
     strategy: str
     baseline: SimulationResult
     faulted: SimulationResult
+    failover: SimulationResult | None = None
 
     @property
     def throughput_retained(self) -> float:
@@ -65,12 +71,16 @@ class AvailabilityComparison:
     points: tuple[AvailabilityPoint, ...]
 
     def to_table(self) -> str:
-        headers = ("strategy", "tput", "tput@fault", "retained",
-                   "avail", "timeout", "failover", "failed", "fallback")
+        with_failover = any(point.failover is not None
+                            for point in self.points)
+        headers = ["strategy", "tput", "tput@fault", "retained",
+                   "avail", "timeout", "failover", "failed", "fallback"]
+        if with_failover:
+            headers += ["avail@fo", "mttr"]
         rows = []
         for point in self.points:
             faulted = point.faulted
-            rows.append((
+            row = [
                 point.strategy,
                 f"{point.baseline.throughput:.2f}",
                 f"{faulted.throughput:.2f}",
@@ -80,8 +90,16 @@ class AvailabilityComparison:
                 f"{faulted.txns_failed_over}",
                 f"{faulted.txns_failed}",
                 f"{faulted.fallback_routings}",
-            ))
-        return format_table(headers, rows)
+            ]
+            if with_failover:
+                if point.failover is None:
+                    row += ["-", "-"]
+                else:
+                    mttr = point.failover.mttr
+                    row += [f"{point.failover.availability:.3f}",
+                            "-" if mttr is None else f"{mttr:.2f}s"]
+            rows.append(tuple(row))
+        return format_table(tuple(headers), rows)
 
     def episode_summary(self) -> str:
         """Per-strategy, per-episode degradation and recovery lines."""
@@ -105,13 +123,17 @@ def run_availability(total_rate: float = 25.0,
                      strategies: Sequence[str] = AVAILABILITY_STRATEGIES,
                      settings: RunSettings | None = None,
                      workers: int | None = 1,
-                     cache: ResultCache | None = None
+                     cache: ResultCache | None = None,
+                     failover: bool = False
                      ) -> AvailabilityComparison:
     """Compare the strategies with and without a fault plan.
 
     Both runs of a strategy use the same configuration and seed (common
     random numbers), so every difference in the table is attributable to
-    the injected faults.  The whole grid executes as one
+    the injected faults.  With ``failover=True`` a third run per
+    strategy repeats the faulted one with hot-standby failover enabled
+    (the plan's recovery policy plus ``failover=True``), isolating what
+    the survivability protocol buys.  The whole grid executes as one
     :class:`ParallelRunner` batch.
     """
     settings = settings or RunSettings()
@@ -119,6 +141,9 @@ def run_availability(total_rate: float = 25.0,
         plan = standard_outage_plan(
             warmup_time=settings.warmup_time * settings.scale,
             measure_time=settings.measure_time * settings.scale)
+    failover_plan = plan.with_recovery(
+        replace(plan.recovery, failover=True)) if failover else None
+    runs = 3 if failover else 2
     specs: list[JobSpec] = []
     for strategy in strategies:
         config = settings.config_for(total_rate, comm_delay=0.2,
@@ -126,11 +151,16 @@ def run_availability(total_rate: float = 25.0,
         specs.append(JobSpec(strategy=strategy, config=config))
         specs.append(JobSpec(strategy=strategy, config=config,
                              fault_plan=plan))
+        if failover_plan is not None:
+            specs.append(JobSpec(strategy=strategy, config=config,
+                                 fault_plan=failover_plan))
     results = ParallelRunner(workers=workers, cache=cache).run_jobs(specs)
     points = tuple(
-        AvailabilityPoint(strategy=strategy,
-                          baseline=results[2 * index],
-                          faulted=results[2 * index + 1])
+        AvailabilityPoint(
+            strategy=strategy,
+            baseline=results[runs * index],
+            faulted=results[runs * index + 1],
+            failover=(results[runs * index + 2] if failover else None))
         for index, strategy in enumerate(strategies))
     return AvailabilityComparison(total_rate=total_rate, plan=plan,
                                   points=points)

@@ -110,11 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-plan", metavar="SPEC",
                         help="with --run: inject faults; SPEC is a canned "
                              "plan name (central-outage, lossy-links, "
-                             "site-crash, chaos) or a FaultPlan JSON file")
+                             "site-crash, chaos, central-outage-failover, "
+                             "site-crash-rejoin, breaker-flap) or a "
+                             "FaultPlan JSON file")
     parser.add_argument("--availability", action="store_true",
                         help="compare the reference strategies with and "
                              "without the standard central outage "
                              "(or the --fault-plan scenario)")
+    parser.add_argument("--failover", action="store_true",
+                        help="with --availability: add a third run per "
+                             "strategy with hot-standby failover enabled "
+                             "(avail@fo and mttr columns)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="simulated-horizon scale factor (default 1.0; "
                              "0.3 for a quick look)")
@@ -351,6 +357,10 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --fault-plan requires --run or --availability",
               file=sys.stderr)
         return 2
+    if args.failover and not args.availability:
+        print("error: --failover requires --availability",
+              file=sys.stderr)
+        return 2
     if args.run and args.replications > 1 and (
             args.telemetry or args.trace_out or args.metrics_out or
             args.profile or args.hot_paths or args.audit or args.audit_out):
@@ -372,7 +382,8 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         comparison = run_availability(
             total_rate=args.rate, plan=_resolve_plan(args, settings),
-            settings=settings, workers=workers, cache=cache)
+            settings=settings, workers=workers, cache=cache,
+            failover=args.failover)
         print("Strategies with and without faults "
               f"@ rate={comparison.total_rate:g} txn/s")
         print()

@@ -50,8 +50,25 @@ FIELDS = [
     "figure", "curve", "comm_delay", "total_rate", "mean_response_time",
     "throughput", "shipped_fraction", "abort_rate", "local_utilization",
     "central_utilization", "n_replications", "rt_half_width",
-    "rt_relative_half_width",
+    "rt_relative_half_width", "availability", "mttr",
 ]
+
+
+def _recovery_columns(point) -> tuple[object, object]:
+    """Cross-replication availability and MTTR of one curve point.
+
+    Fault-free sweeps report availability 1.0 and an empty MTTR cell;
+    points without attached replications (hand-built in tests) report
+    the same neutral values.
+    """
+    replications = getattr(point, "replications", ()) or ()
+    if not replications:
+        return 1.0, ""
+    availability = (sum(r.availability for r in replications) /
+                    len(replications))
+    mttrs = [r.mttr for r in replications if r.mttr is not None]
+    mttr = sum(mttrs) / len(mttrs) if mttrs else ""
+    return availability, mttr
 
 
 def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
@@ -65,6 +82,7 @@ def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
     """
     rows = []
     for point in curve.points:
+        availability, mttr = _recovery_columns(point)
         rows.append({
             "figure": figure_id,
             "curve": curve.label,
@@ -79,6 +97,8 @@ def curve_rows(curve: Curve, figure_id: str = "") -> list[dict[str, object]]:
             "n_replications": point.n_replications,
             "rt_half_width": point.rt_half_width,
             "rt_relative_half_width": point.rt_relative_half_width,
+            "availability": availability,
+            "mttr": mttr,
         })
     return rows
 
@@ -203,8 +223,30 @@ def telemetry_to_json(result: "SimulationResult") -> str:
                     "baseline_throughput": report.baseline_throughput,
                     "degraded_throughput": report.degraded_throughput,
                     "time_to_recover": report.time_to_recover,
+                    "recovery_time": report.recovery_time,
                 }
                 for report in result.fault_episodes
+            ],
+        },
+        "recovery": {
+            "mttr": result.mttr,
+            "mtbf": result.mtbf,
+            "failover_takeovers": result.failover_takeovers,
+            "site_rejoins": result.site_rejoins,
+            "arrivals_shed": result.arrivals_shed,
+            "txns_lost_in_crash": result.txns_lost_in_crash,
+            "txns_deadline_cancelled": result.txns_deadline_cancelled,
+            "txns_reshipped": result.txns_reshipped,
+            "breaker_transitions": result.breaker_transitions,
+            "recoveries": [
+                {
+                    "kind": record.kind,
+                    "site": record.site,
+                    "started": record.started,
+                    "completed": record.completed,
+                    "duration": record.duration,
+                }
+                for record in result.recoveries
             ],
         },
         "engine": {

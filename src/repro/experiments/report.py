@@ -341,9 +341,30 @@ def availability_report(result) -> str:
         f"retransmitted {result.messages_retransmitted}, "
         f"duplicates {result.duplicate_messages}",
     ]
+    if (result.failover_takeovers or result.site_rejoins or
+            result.arrivals_shed or result.txns_lost_in_crash or
+            result.txns_deadline_cancelled or result.txns_reshipped or
+            result.breaker_transitions):
+        lines.append(
+            f"  recovery            {result.failover_takeovers} "
+            f"takeover(s), {result.site_rejoins} rejoin(s), "
+            f"{result.txns_reshipped} reshipped")
+        lines.append(
+            f"  overload control    {result.arrivals_shed} shed, "
+            f"{result.txns_deadline_cancelled} deadline-cancelled, "
+            f"{result.breaker_transitions} breaker transition(s)")
+        if result.txns_lost_in_crash:
+            lines.append(f"  lost in crash       "
+                         f"{result.txns_lost_in_crash}")
+    if result.mttr is not None:
+        mtbf = ("n/a" if result.mtbf is None
+                else f"{result.mtbf:.1f}s")
+        lines.append(f"  MTTR {result.mttr:.2f}s, MTBF {mtbf}")
     for report in result.fault_episodes:
         recover = ("not within run" if report.time_to_recover is None
                    else f"recovered in {report.time_to_recover:.1f}s")
+        if report.recovery_time is not None:
+            recover += f" (repair protocol {report.recovery_time:.2f}s)"
         target = "" if report.site is None else f" site {report.site}"
         lines.append(f"  {report.kind}{target} "
                      f"[{report.start:g}s..{report.end:g}s]: throughput "

@@ -37,6 +37,10 @@ from .protocol import (
     CancelAck,
     CentralSnapshot,
     CommitOrder,
+    Heartbeat,
+    LogRecord,
+    RejoinRequest,
+    RejoinSnapshot,
     ReleaseOrder,
     RemoteCommit,
     RemoteInvalidate,
@@ -44,6 +48,8 @@ from .protocol import (
     RemoteLockRequest,
     RemoteRelease,
     ShipmentCancel,
+    ShipmentReject,
+    TakeoverNotice,
     TxnResponse,
     TxnShipment,
     UpdateAck,
@@ -51,6 +57,7 @@ from .protocol import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.faults import RecoveryPolicy
     from .config import SystemConfig
     from .metrics import MetricsCollector
     from .system import HybridSystem
@@ -67,7 +74,8 @@ class _PendingAuth:
     so late replies can be matched: each master's locks are released
     only *after* its reply arrives (a master grants before replying, so
     a release sent any earlier could overtake the grant and leak the
-    locks forever).
+    locks forever).  ``requests`` keeps each master's request so it can
+    be re-sent to a site whose crash destroyed the original (rejoin).
     """
 
     event: Event
@@ -75,14 +83,16 @@ class _PendingAuth:
     txn_id: int = 0
     cancelled: bool = False
     replies: list[AuthReply] = field(default_factory=list)
+    requests: dict[int, AuthRequest] = field(default_factory=dict)
 
 
 class CentralSite(SiteBase):
     """The central computing complex of the hybrid architecture."""
 
     def __init__(self, env: Environment, config: "SystemConfig",
-                 system: "HybridSystem", partition: LockSpacePartition):
-        super().__init__(env, config, config.central_mips, name="central")
+                 system: "HybridSystem", partition: LockSpacePartition,
+                 name: str = "central"):
+        super().__init__(env, config, config.central_mips, name=name)
         self.system = system
         self.partition = partition
         self.metrics: "MetricsCollector" = system.metrics
@@ -90,7 +100,7 @@ class CentralSite(SiteBase):
         #: Class B and shipped class A transactions currently at central.
         self.active: dict[int, Transaction] = {}
         #: Central replica of every regional database (update counters).
-        self.data = ReplicaStore(name="central")
+        self.data = ReplicaStore(name=name)
         self.to_sites: list[Link] = []
         self.from_sites: list[Link] = []
 
@@ -107,6 +117,20 @@ class CentralSite(SiteBase):
         #: Transactions whose response has been sent (cancel -> completed).
         self._finished: set[int] = set()
 
+        # Recovery subsystem (populated only when the plan's
+        # RecoveryPolicy enables it; None otherwise, costing nothing).
+        self.recovery: "RecoveryPolicy | None" = None
+        #: Reliable sender of the primary->standby log stream (primary
+        #: only; the standby's mirror lives on StandbyCentral).
+        self.log_endpoint: ReliableEndpoint | None = None
+        self.log_in: Link | None = None
+        #: True once a TakeoverNotice arrived: this central lost the
+        #: master role and must neither execute nor transmit.
+        self.deposed = False
+        #: Applied update batches per site (dedup across log replay and
+        #: direct re-sends after failover).  None = dedup off.
+        self._applied_batches: dict[int, set[int]] | None = None
+
     # -- wiring ---------------------------------------------------------------
 
     def attach_links(self, to_sites: list[Link],
@@ -115,12 +139,90 @@ class CentralSite(SiteBase):
         self.from_sites = from_sites
         for site_id, link in enumerate(from_sites):
             self.env.process(self._dispatch(site_id, link),
-                             name=f"central:dispatch-{site_id}")
+                             name=f"{self.name}:dispatch-{site_id}")
 
     def enable_reliability(self, site_id: int,
                            channel: ReliableEndpoint) -> None:
         """Route central->site traffic through a reliable channel."""
         self.channels[site_id] = channel
+
+    def enable_recovery(self, recovery: "RecoveryPolicy") -> None:
+        """Arm the recovery subsystem (batch dedup, admission bound)."""
+        self.recovery = recovery
+        self._applied_batches = {}
+
+    def start_log_shipping(self, endpoint: ReliableEndpoint,
+                           in_link: Link) -> None:
+        """Primary side of the hot-standby pairing.
+
+        ``endpoint`` sends log records (reliable) and heartbeats
+        (unreliable, raw link) to the standby; ``in_link`` carries the
+        standby's acks and, eventually, its TakeoverNotice.
+        """
+        self.log_endpoint = endpoint
+        self.log_in = in_link
+        self.env.process(self._log_dispatch(),
+                         name=f"{self.name}:log-dispatch")
+        self.env.process(self._heartbeat_loop(),
+                         name=f"{self.name}:heartbeat")
+
+    def _log_dispatch(self):
+        while True:
+            message = yield self.log_in.mailbox.get()
+            for delivered in self.log_endpoint.pump(message):
+                if isinstance(delivered.payload, TakeoverNotice):
+                    self._on_deposed()
+
+    def _heartbeat_loop(self):
+        interval = self.recovery.heartbeat_interval
+        while not self.deposed:
+            # Raw link send, outside the reliable channel: heartbeats
+            # must not be retransmitted -- silence is the signal.
+            self.log_endpoint.out_link.send(Message(
+                kind="heartbeat", source=self.name,
+                payload=Heartbeat(time=self.env.now)))
+            yield self.env.timeout(interval)
+
+    def _ship_log(self, kind: str, updates, site: int | None = None,
+                  seq: int = 0) -> None:
+        if self.log_endpoint is None or self.deposed:
+            return
+        self.log_endpoint.send(Message(
+            kind="log", source=self.name,
+            payload=LogRecord(kind=kind, updates=updates, site=site,
+                              seq=seq)))
+
+    def _mark_batch(self, site: int | None, seq: int) -> bool:
+        """Record an update batch as applied; False when already seen."""
+        if self._applied_batches is None or site is None or seq == 0:
+            return True
+        seen = self._applied_batches.setdefault(site, set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        return True
+
+    def _on_deposed(self) -> None:
+        """The standby took over: stop executing and transmitting.
+
+        In-flight transactions are killed (their home sites already
+        re-dispatched them at failover and fence this central's
+        responses), pending retransmissions are abandoned, and pending
+        auth rounds are dropped -- the sites released this epoch's
+        master locks when they re-pointed.
+        """
+        if self.deposed:
+            return
+        self.deposed = True
+        self.metrics.record_takeover("primary-deposed")
+        for txn_id, process in list(self._processes.items()):
+            if process.is_alive:
+                process.interrupt("deposed")
+        for channel in self.channels.values():
+            channel.abandon()
+        if self.log_endpoint is not None:
+            self.log_endpoint.abandon()
+        self._pending_auth.clear()
 
     def snapshot(self) -> CentralSnapshot:
         """Sample the observable central state (piggybacked on messages)."""
@@ -176,13 +278,26 @@ class CentralSite(SiteBase):
             self._handle_remote_commit(payload)
         elif isinstance(payload, RemoteRelease):
             self._handle_remote_release(payload)
+        elif isinstance(payload, RejoinRequest):
+            self.env.process(self._handle_rejoin(payload),
+                             name=f"{self.name}:rejoin-{payload.site}")
         else:
             raise TypeError(f"unexpected payload {payload!r}")
 
     def admit(self, txn: Transaction) -> None:
         """Start executing a shipped class A or class B transaction."""
+        recovery = self.recovery
+        if recovery is not None and recovery.admission_limit > 0 and \
+                len(self.active) >= recovery.admission_limit:
+            # Bounded admission: shedding here (with an explicit reject
+            # the home site acts on immediately) beats accepting work
+            # that will only time out after clogging the queue further.
+            self.metrics.record_shed(txn, node=self.name)
+            self._send(txn.home_site, "ship-reject", ShipmentReject(
+                txn_id=txn.txn_id, snapshot=self.snapshot()))
+            return
         self._processes[txn.txn_id] = self.env.process(
-            self._run_central(txn), name=f"txn-{txn.txn_id}@central")
+            self._run_central(txn), name=f"txn-{txn.txn_id}@{self.name}")
 
     def _handle_cancel(self, cancel: ShipmentCancel) -> None:
         """Settle a shipment the home site has given up on.
@@ -212,7 +327,19 @@ class CentralSite(SiteBase):
         Locks at the central site on the updated data are invalidated:
         the transactions holding them are marked for abort (they discover
         the mark at their commit check).  The batch is then acknowledged.
+
+        With recovery armed, batches are deduplicated by (site, seq):
+        after a failover a site re-sends its unacknowledged batches, and
+        the standby may already hold them from the shipped log.  A
+        duplicate is acknowledged (so the sender drains) but not
+        re-applied.
         """
+        if not self._mark_batch(propagation.source_site, propagation.seq):
+            self._send(propagation.source_site, "update-ack",
+                       UpdateAck(updates=propagation.updates,
+                                 snapshot=self.snapshot(),
+                                 seq=propagation.seq))
+            return
         yield from self.cpu_burst(self.config.instr_update_apply *
                                   len(propagation.updates))
         self.data.apply_updates(propagation.entities)
@@ -233,7 +360,45 @@ class CentralSite(SiteBase):
                                    snapshot=self.snapshot()))
         self._send(propagation.source_site, "update-ack",
                    UpdateAck(updates=propagation.updates,
-                             snapshot=self.snapshot()))
+                             snapshot=self.snapshot(),
+                             seq=propagation.seq))
+        self._ship_log("update", propagation.updates,
+                       site=propagation.source_site, seq=propagation.seq)
+
+    # -- site rejoin (crash recovery catch-up) --------------------------------
+
+    def _handle_rejoin(self, request: RejoinRequest):
+        """Catch a rejoining site up after a crash wiped its state.
+
+        Builds a snapshot of the site's mastered partition from the
+        central replica (covering every update the site missed *or lost*
+        while down), re-sends auth requests the crash destroyed so
+        stalled rounds resolve, and drops remote locks held by the
+        site's dead distributed transactions.
+        """
+        recovery = self.recovery
+        if recovery is not None:
+            yield from self.cpu_burst(recovery.instr_snapshot)
+        site = request.site
+        # Stalled auth rounds: the request (or its reply) died with the
+        # site's old channel incarnation; re-send over the new one.
+        for pending in self._pending_auth.values():
+            req = pending.requests.get(site)
+            if req is not None and \
+                    all(reply.site != site for reply in pending.replies):
+                self._send(site, "auth-request", req)
+        # Remote locks held by distributed transactions of the dead site
+        # would otherwise block other sites' work forever.
+        for txn_id, home in list(self._remote_holders.items()):
+            if home == site:
+                self.locks.release_all(txn_id)
+                del self._remote_holders[txn_id]
+        low, high = self.partition.site_range(site)
+        counts = {entity: count
+                  for entity, count in self.data.snapshot().items()
+                  if low <= entity < high}
+        self._send(site, "rejoin-snapshot", RejoinSnapshot(
+            site=site, counts=counts, snapshot=self.snapshot()))
 
     # -- remote-call data server (fully distributed class B mode) ------------
 
@@ -395,10 +560,12 @@ class CentralSite(SiteBase):
                 event=done, expected=len(masters), txn_id=txn.txn_id)
             self._pending_auth[auth_id] = pending
             for site, references in masters.items():
-                self._send(site, "auth-request", AuthRequest(
+                request = AuthRequest(
                     auth_id=auth_id, txn_id=txn.txn_id,
                     references=tuple(references),
-                    snapshot=self.snapshot()))
+                    snapshot=self.snapshot(), deadline=txn.deadline)
+                pending.requests[site] = request
+                self._send(site, "auth-request", request)
             # Both message legs plus the master-site checks count as the
             # authentication phase of this transaction's timeline.
             txn.spans.enter(PHASE_AUTH, self.env.now)
@@ -447,6 +614,8 @@ class CentralSite(SiteBase):
         # Apply the transaction's updates to the central replica and
         # distribute per-master commit orders carrying the update lists.
         self.data.apply_updates(txn.update_entities)
+        if txn.update_entities:
+            self._ship_log("commit", (tuple(txn.update_entities),))
         for site, references in masters.items():
             site_updates = tuple(entity for entity, mode in references
                                  if mode is LockMode.EXCLUSIVE)

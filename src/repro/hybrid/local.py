@@ -16,17 +16,41 @@ A local site
 * maintains the newest :class:`CentralSnapshot` gleaned from incoming
   central messages -- the (delayed) central state the dynamic routing
   strategies consume.
+
+Under a fault plan with a :class:`~repro.sim.faults.RecoveryPolicy` the
+site additionally participates in the survivability protocols:
+
+* **failover** -- on a :class:`FailoverNotice` from the hot standby the
+  site re-points its central routing, fences all further traffic from
+  the deposed primary (frames are still acked so retransmission stops,
+  but never processed), settles every in-flight shipment (class A
+  re-runs locally, class B re-ships to the standby), releases the dead
+  primary's phantom master locks and re-sends unacknowledged update
+  batches;
+* **crash rejoin** -- a site crash destroys all volatile state (running
+  transactions, lock table, replica counters, channel bookkeeping);
+  when the outage ends the site resets its channel incarnations and
+  runs the RejoinRequest/RejoinSnapshot catch-up before admitting the
+  arrivals it queued while down;
+* **overload control** -- bounded admission (shed when the active set
+  is full), end-to-end deadlines propagated through shipment and
+  authentication messages (doomed work is cancelled early), and a
+  circuit breaker on the site->central path that trips on consecutive
+  shipment timeouts and half-opens probabilistically.
+
+All of this is inert -- zero events, zero RNG draws -- unless the
+recovery policy enables it, so plain runs stay bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..db.locks import DeadlockError
+from ..db.locks import DeadlockError, LockManager
 from ..db.replica import ReplicaStore
 from ..db.transaction import Placement, Reference, Transaction, \
     TransactionClass
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, Interrupt, Process
 from ..sim.network import Link, Message, ReliableEndpoint
 from ..sim.spans import PHASE_COMM
 from .base import SiteBase
@@ -36,6 +60,9 @@ from .protocol import (
     CancelAck,
     CentralSnapshot,
     CommitOrder,
+    FailoverNotice,
+    RejoinRequest,
+    RejoinSnapshot,
     ReleaseOrder,
     RemoteCommit,
     RemoteInvalidate,
@@ -43,6 +70,7 @@ from .protocol import (
     RemoteLockRequest,
     RemoteRelease,
     ShipmentCancel,
+    ShipmentReject,
     TxnResponse,
     TxnShipment,
     UpdateAck,
@@ -51,12 +79,73 @@ from .protocol import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.router import Router
-    from ..sim.faults import RetryPolicy
+    from ..sim.faults import RecoveryPolicy, RetryPolicy
     from .config import SystemConfig
     from .metrics import MetricsCollector
     from .system import HybridSystem
 
-__all__ = ["LocalSite"]
+__all__ = ["LocalSite", "CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Circuit breaker for one site's path to the central complex.
+
+    Classic three-state machine: ``closed`` (normal), ``open`` (fail
+    fast after ``threshold`` consecutive shipment timeouts), and
+    ``half-open`` (after ``cooldown`` seconds each candidate shipment
+    probes the path with probability ``probe``, drawn from the site's
+    named ``breaker:`` RNG stream so runs stay reproducible).  Any
+    completed shipment closes the breaker; a timeout in half-open
+    re-opens it immediately.
+    """
+
+    def __init__(self, env: Environment, threshold: int, cooldown: float,
+                 probe: float, rng_factory, on_transition):
+        self.env = env
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probe = probe
+        self._rng_factory = rng_factory
+        self._on_transition = on_transition
+        self.state = "closed"
+        self.consecutive_timeouts = 0
+        self.opened_at = float("-inf")
+
+    def allows(self) -> bool:
+        """May a shipment be sent right now?  (May transition states.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.env.now - self.opened_at < self.cooldown:
+                return False
+            self._transition("half-open")
+        # Half-open: probabilistic probe.
+        return self._rng_factory().random() < self.probe
+
+    def on_timeout(self) -> None:
+        self.consecutive_timeouts += 1
+        if self.state == "half-open" or (
+                self.state == "closed" and
+                self.consecutive_timeouts >= self.threshold):
+            self.opened_at = self.env.now
+            self._transition("open")
+
+    def on_success(self) -> None:
+        self.consecutive_timeouts = 0
+        if self.state != "closed":
+            self._transition("closed")
+
+    def reset(self) -> None:
+        """Silent reset (crash recovery wipes the breaker's memory)."""
+        self.state = "closed"
+        self.consecutive_timeouts = 0
+        self.opened_at = float("-inf")
+
+    def _transition(self, to: str) -> None:
+        if to == self.state:
+            return
+        self.state = to
+        self._on_transition(to)
 
 
 class LocalSite(SiteBase):
@@ -86,6 +175,12 @@ class LocalSite(SiteBase):
         self.from_central: Link | None = None
 
         self._update_buffer: list[tuple[int, ...]] = []
+        #: Per-site monotone batch number for update propagation; every
+        #: sent batch is tracked until its ack arrives so a stale or
+        #: duplicated ack (crash/failover re-sends) cannot drive a
+        #: coherence count below zero.
+        self._update_seq = 0
+        self._unacked_updates: dict[int, tuple[tuple[int, ...], ...]] = {}
         # Remote-call bookkeeping (fully distributed class B mode).
         self._remote_call_ids = 0
         self._pending_remote_calls: dict[int, "Event"] = {}
@@ -100,6 +195,31 @@ class LocalSite(SiteBase):
         self._pending_ship: dict[int, Transaction] = {}
         #: In-progress ShipmentCancel handshakes: txn_id -> Event.
         self._pending_cancels: dict[int, "Event"] = {}
+
+        # Recovery subsystem (populated only when the fault plan's
+        # RecoveryPolicy enables it; inert otherwise).
+        self.recovery: "RecoveryPolicy | None" = None
+        self.to_standby: Link | None = None
+        self.from_standby: Link | None = None
+        self.standby_channel: ReliableEndpoint | None = None
+        #: True once a FailoverNotice re-pointed routing at the standby.
+        self.on_standby = False
+        #: True while a SITE_CRASH episode is destroying this site.
+        self.crashed = False
+        #: True between episode end and rejoin-snapshot installation.
+        self.recovering = False
+        self._rejoin_started = 0.0
+        #: Arrivals queued during crash/recovery (bounded admission).
+        self._admission_queue: list[Transaction] = []
+        #: Running transaction processes, so a crash can interrupt them.
+        self._local_processes: dict[int, Process] = {}
+        #: Shipment watchdogs, likewise interruptible on crash.
+        self._watchdogs: dict[int, Process] = {}
+        self.breaker: CircuitBreaker | None = None
+        #: App frames discarded because they came from a deposed
+        #: primary (or arrived at a crashed site).
+        self.fenced_messages = 0
+        self.txns_lost_in_crash = 0
 
     # -- wiring --------------------------------------------------------------
 
@@ -117,24 +237,77 @@ class LocalSite(SiteBase):
         self.channel = channel
         self.retry = retry
 
+    def enable_recovery(self, recovery: "RecoveryPolicy") -> None:
+        """Arm the survivability protocols this site participates in."""
+        self.recovery = recovery
+        if recovery.breaker_threshold > 0:
+            self.breaker = CircuitBreaker(
+                self.env,
+                threshold=recovery.breaker_threshold,
+                cooldown=recovery.breaker_cooldown,
+                probe=recovery.breaker_probe,
+                rng_factory=lambda: self.system.streams.stream(
+                    f"breaker:{self.name}"),
+                on_transition=lambda state: self.metrics.record_breaker(
+                    self.site_id, state))
+
+    def attach_standby(self, to_standby: Link, from_standby: Link,
+                       channel: ReliableEndpoint) -> None:
+        """Wire the pre-established link pair to the hot standby."""
+        self.to_standby = to_standby
+        self.from_standby = from_standby
+        self.standby_channel = channel
+        self.env.process(self._dispatch_standby(),
+                         name=f"{self.name}:standby-dispatch")
+
+    @property
+    def standby_links(self) -> tuple[Link, ...]:
+        """Both directions of the site<->standby pair (for the injector)."""
+        if self.to_standby is None or self.from_standby is None:
+            return ()
+        return (self.to_standby, self.from_standby)
+
     # -- arrival handling --------------------------------------------------------
 
     def submit(self, txn: Transaction) -> None:
         """Entry point for the arrival process."""
-        if self.down:
+        recovery = self.recovery
+        if self.down or self.crashed or self.recovering:
+            if recovery is not None and recovery.rejoin:
+                # Queue for post-rejoin admission (bounded).
+                limit = recovery.admission_limit
+                if limit and len(self._admission_queue) >= limit:
+                    self.metrics.record_shed(txn, node=self.name)
+                else:
+                    self._admission_queue.append(txn)
+                return
             # A crashed site accepts no work; the arrival is turned away
             # (and counted against availability).
             self.metrics.record_rejected_arrival(txn)
             return
+        if recovery is not None:
+            if recovery.deadline > 0 and txn.deadline is None:
+                txn.deadline = self.env.now + recovery.deadline
+            limit = recovery.admission_limit
+            if limit and len(self.active) >= limit:
+                # Bounded admission: shed rather than build an unbounded
+                # backlog that would miss every deadline anyway.
+                self.metrics.record_shed(txn, node=self.name)
+                return
         if txn.txn_class is TransactionClass.B:
             if self.config.class_b_mode == "remote-call":
                 txn.route(Placement.DISTRIBUTED)
                 self.metrics.record_routing(txn, reason="class-b")
-                self.env.process(self._run_distributed(txn),
-                                 name=f"txn-{txn.txn_id}@{self.name}:dist")
+                self._start_process(txn, self._run_distributed(txn),
+                                    suffix=":dist")
             else:
                 txn.route(Placement.CENTRAL)
                 self.metrics.record_routing(txn, reason="class-b")
+                if self.breaker is not None and not self.breaker.allows():
+                    # Class B can only run centrally: fail fast while
+                    # the breaker holds the path open.
+                    self.metrics.record_failure(txn, cause="breaker-open")
+                    return
                 self._ship(txn)
             return
         fallback = self._fallback_reason()
@@ -146,8 +319,7 @@ class LocalSite(SiteBase):
             self.metrics.record_fallback_routing(txn, fallback)
             self.metrics.record_routing(txn,
                                         reason=f"fallback:{fallback}")
-            self.env.process(self._run_local(txn),
-                             name=f"txn-{txn.txn_id}@{self.name}")
+            self._start_process(txn, self._run_local(txn))
             return
         observation = self.observe()
         decision = self.router.decide(txn, observation)
@@ -155,11 +327,17 @@ class LocalSite(SiteBase):
         self.metrics.record_routing(txn, observation=observation,
                                     reason="strategy")
         if decision is Placement.LOCAL:
-            self.env.process(self._run_local(txn),
-                             name=f"txn-{txn.txn_id}@{self.name}")
+            self._start_process(txn, self._run_local(txn))
         else:
             self.shipped_in_flight += 1
             self._ship(txn)
+
+    def _start_process(self, txn: Transaction, generator,
+                       suffix: str = "") -> None:
+        """Spawn and register a transaction process (crash-interruptible)."""
+        process = self.env.process(
+            generator, name=f"txn-{txn.txn_id}@{self.name}{suffix}")
+        self._local_processes[txn.txn_id] = process
 
     def _fallback_reason(self) -> str | None:
         """Why class A must stay local, or ``None`` when central is fine.
@@ -173,6 +351,8 @@ class LocalSite(SiteBase):
             return None
         if self.central_suspected:
             return "central-suspected"
+        if self.breaker is not None and not self.breaker.allows():
+            return "breaker-open"
         snapshot_time = self.central_snapshot.time
         if snapshot_time > float("-inf") and \
                 self.env.now - snapshot_time > self.retry.snapshot_max_age:
@@ -182,7 +362,7 @@ class LocalSite(SiteBase):
     def observe(self):
         """Build the routing observation (exact local, delayed central)."""
         from ..core.router import RoutingObservation
-        central = (self.system.central.snapshot()
+        central = (self.system.acting_central.snapshot()
                    if self.config.instant_central_state
                    else self.central_snapshot)
         return RoutingObservation(
@@ -193,14 +373,21 @@ class LocalSite(SiteBase):
             local_locks_held=self.locks.total_locks_held(),
             shipped_in_flight=self.shipped_in_flight,
             central=central,
+            central_reachable=self._fallback_reason() is None,
         )
 
     def _send_central(self, kind: str, payload) -> None:
-        """Send one site->central message (reliably under a fault plan)."""
+        """Send one site->central message (reliably under a fault plan).
+
+        After a failover the message goes to the standby -- which *is*
+        the central complex now -- over the pre-wired standby channel.
+        """
         self.metrics.record_message(to_central=True, kind=kind,
                                     site=self.site_id)
         message = Message(kind=kind, source=self.site_id, payload=payload)
-        if self.channel is not None:
+        if self.on_standby and self.standby_channel is not None:
+            self.standby_channel.send(message)
+        elif self.channel is not None:
             self.channel.send(message)
         else:
             self.to_central.send(message)
@@ -210,8 +397,9 @@ class LocalSite(SiteBase):
         self._send_central("txn", TxnShipment(txn))
         if self.channel is not None:
             self._pending_ship[txn.txn_id] = txn
-            self.env.process(self._ship_watchdog(txn),
-                             name=f"txn-{txn.txn_id}@{self.name}:watchdog")
+            self._watchdogs[txn.txn_id] = self.env.process(
+                self._ship_watchdog(txn),
+                name=f"txn-{txn.txn_id}@{self.name}:watchdog")
 
     def on_shipped_response(self, txn: Transaction) -> None:
         """The central site delivered the response for a shipped class A."""
@@ -231,32 +419,67 @@ class LocalSite(SiteBase):
         is FIFO and exactly-once, the cancel is processed strictly after
         the shipment, so central's answer ("killed" or "completed") is
         definitive and the transaction can never run twice.
+
+        With a deadline armed the watchdog additionally cancels the
+        shipment as soon as the deadline passes -- doomed work is pulled
+        back before it wastes more central capacity.
         """
-        retry = self.retry
-        delay = retry.shipment_timeout
-        for _attempt in range(retry.shipment_attempts):
-            yield self.env.timeout(delay)
+        try:
+            retry = self.retry
+            delay = retry.shipment_timeout
+            deadline_hit = False
+            for _attempt in range(retry.shipment_attempts):
+                sleep = delay
+                if txn.deadline is not None:
+                    sleep = min(sleep,
+                                max(txn.deadline - self.env.now, 0.0))
+                yield self.env.timeout(sleep)
+                if txn.txn_id not in self._pending_ship:
+                    return  # response arrived
+                if txn.deadline is not None and \
+                        self.env.now >= txn.deadline:
+                    # A missed deadline is a failed exchange on the
+                    # site->central path; it feeds the breaker just
+                    # like an exhausted retry budget.
+                    deadline_hit = True
+                    if self.breaker is not None:
+                        self.breaker.on_timeout()
+                    break
+                delay *= retry.backoff
+            else:
+                self.metrics.record_timeout(txn)
+                self._suspect_central()
+                if self.breaker is not None:
+                    self.breaker.on_timeout()
+            outcome = yield from self._cancel_shipment(txn)
             if txn.txn_id not in self._pending_ship:
-                return  # response arrived
-            delay *= retry.backoff
-        self.metrics.record_timeout(txn)
-        self._suspect_central()
-        outcome = yield from self._cancel_shipment(txn)
-        if txn.txn_id not in self._pending_ship:
-            return  # response raced the cancel and won
-        if outcome != "killed":
-            return  # "completed": the response is on the wire
-        del self._pending_ship[txn.txn_id]
-        if txn.txn_class is TransactionClass.A:
-            # Fail over: re-run the class A transaction at home.
-            self.shipped_in_flight -= 1
-            txn.route(Placement.LOCAL)
-            self.metrics.record_failover(txn)
-            self.env.process(self._run_local(txn),
-                             name=f"txn-{txn.txn_id}@{self.name}:failover")
-        else:
-            # Class B can only run centrally; the transaction fails.
-            self.metrics.record_failure(txn, cause="shipment-cancelled")
+                return  # response (or a failover) raced the cancel
+            if outcome != "killed":
+                return  # "completed": the response is on the wire
+            del self._pending_ship[txn.txn_id]
+            if deadline_hit:
+                # Past its deadline: the transaction fails outright --
+                # re-running it anywhere would still miss it.
+                if txn.placement is Placement.SHIPPED:
+                    self.shipped_in_flight -= 1
+                self.metrics.record_deadline_cancel(txn)
+                self.metrics.record_failure(txn, cause="deadline")
+                return
+            if txn.txn_class is TransactionClass.A:
+                # Fail over: re-run the class A transaction at home.
+                self.shipped_in_flight -= 1
+                txn.route(Placement.LOCAL)
+                self.metrics.record_failover(txn)
+                self._start_process(txn, self._run_local(txn),
+                                    suffix=":failover")
+            else:
+                # Class B can only run centrally; the transaction fails.
+                self.metrics.record_failure(txn,
+                                            cause="shipment-cancelled")
+        except Interrupt:
+            return  # site crash: the shipment was settled by on_crash()
+        finally:
+            self._watchdogs.pop(txn.txn_id, None)
 
     def _cancel_shipment(self, txn: Transaction):
         """ShipmentCancel round trip; returns central's verdict."""
@@ -280,10 +503,26 @@ class LocalSite(SiteBase):
         txn = response.txn
         if self._pending_ship.pop(txn.txn_id, None) is None:
             return  # already settled by the cancel handshake
+        if self.breaker is not None:
+            self.breaker.on_success()
         txn.complete(self.env.now)
         self.metrics.record_completion(txn)
         if txn.placement is Placement.SHIPPED:
             self.on_shipped_response(txn)
+
+    def _handle_ship_reject(self, reject: ShipmentReject) -> None:
+        """Central admission control refused the shipment outright."""
+        txn = self._pending_ship.pop(reject.txn_id, None)
+        if txn is None:
+            return
+        if txn.txn_class is TransactionClass.A:
+            self.shipped_in_flight -= 1
+            txn.route(Placement.LOCAL)
+            self.metrics.record_failover(txn)
+            self._start_process(txn, self._run_local(txn),
+                                suffix=":overload")
+        else:
+            self.metrics.record_failure(txn, cause="central-overload")
 
     # -- local class A execution ----------------------------------------------
 
@@ -317,8 +556,18 @@ class LocalSite(SiteBase):
                     continue
                 self._commit(txn)
                 return
+        except Interrupt:
+            self._lose_to_crash(txn)
         finally:
             self.active.pop(txn.txn_id, None)
+            self._local_processes.pop(txn.txn_id, None)
+
+    def _lose_to_crash(self, txn: Transaction) -> None:
+        """The site crashed under this running transaction."""
+        self.locks.release_all(txn.txn_id)
+        txn.locked_entities.clear()
+        self.txns_lost_in_crash += 1
+        self.metrics.record_lost_in_crash(txn)
 
     def _execute_calls(self, txn: Transaction, first_run: bool):
         """The ten database calls: lock, CPU burst, data I/O."""
@@ -374,7 +623,11 @@ class LocalSite(SiteBase):
             return
         batch = tuple(self._update_buffer)
         self._update_buffer.clear()
-        self._send_central("update", UpdatePropagation(self.site_id, batch))
+        self._update_seq += 1
+        seq = self._update_seq
+        self._unacked_updates[seq] = batch
+        self._send_central("update",
+                           UpdatePropagation(self.site_id, batch, seq=seq))
 
     def _flush_loop(self):
         """Periodic flush so partial batches are never stranded."""
@@ -456,8 +709,13 @@ class LocalSite(SiteBase):
                     continue
                 self._commit_distributed(txn, remote_locked)
                 return
+        except Interrupt:
+            # Remote locks of the dead transaction are cleaned up by the
+            # central complex during the rejoin handshake.
+            self._lose_to_crash(txn)
         finally:
             self.active.pop(txn.txn_id, None)
+            self._local_processes.pop(txn.txn_id, None)
 
     def _remote_call(self, txn: Transaction, reference: Reference):
         """Synchronous lock-and-fetch round trip to the data server."""
@@ -505,17 +763,52 @@ class LocalSite(SiteBase):
     # -- master-site protocol ------------------------------------------------------
 
     def _dispatch(self):
-        """Handle central -> site messages in arrival order."""
+        """Handle central -> site messages in arrival order.
+
+        After a failover the deposed primary is *fenced*: its frames are
+        still pumped through the channel (the ack stops its
+        retransmission timers) but never processed.
+        """
         while True:
             message = yield self.from_central.mailbox.get()
+            if self.crashed:
+                # A dead site neither acks nor processes anything.
+                continue
             if self.channel is not None:
-                # Any frame from central -- app message or bare ack --
-                # proves it is reachable again.
-                self.central_suspected = False
+                if not self.on_standby:
+                    # Any frame from the *active* central -- app message
+                    # or bare ack -- proves it is reachable again.
+                    self.central_suspected = False
                 for delivered in self.channel.pump(message):
+                    if self.on_standby:
+                        self.fenced_messages += 1
+                        self.metrics.record_fenced(self.site_id)
+                        continue
                     self._on_central_message(delivered)
             else:
                 self._on_central_message(message)
+
+    def _dispatch_standby(self):
+        """Handle standby -> site messages.
+
+        Before the takeover the standby sends nothing but the
+        :class:`FailoverNotice` itself; afterwards this is the central
+        message stream.
+        """
+        while True:
+            message = yield self.from_standby.mailbox.get()
+            if self.crashed:
+                continue
+            for delivered in self.standby_channel.pump(message):
+                payload = delivered.payload
+                if isinstance(payload, FailoverNotice):
+                    self._on_failover(payload)
+                elif self.on_standby:
+                    self.central_suspected = False
+                    self._on_central_message(delivered)
+                else:
+                    self.fenced_messages += 1
+                    self.metrics.record_fenced(self.site_id)
 
     def _on_central_message(self, message: Message) -> None:
         payload = message.payload
@@ -545,9 +838,15 @@ class LocalSite(SiteBase):
             pending = self._pending_cancels.pop(payload.txn_id, None)
             if pending is not None:
                 pending.succeed(payload)
+        elif isinstance(payload, ShipmentReject):
+            self._handle_ship_reject(payload)
+        elif isinstance(payload, RejoinSnapshot):
+            self.env.process(self._install_rejoin_snapshot(payload),
+                             name=f"{self.name}:rejoin-install")
         elif isinstance(payload, RemoteLockReply):
-            pending = self._pending_remote_calls.pop(payload.call_id)
-            pending.succeed(payload)
+            pending = self._pending_remote_calls.pop(payload.call_id, None)
+            if pending is not None:
+                pending.succeed(payload)
         elif isinstance(payload, RemoteInvalidate):
             victim = self.active.get(payload.txn_id)
             if victim is not None and not victim.marked_for_abort:
@@ -560,7 +859,15 @@ class LocalSite(SiteBase):
         yield from self.cpu_burst(self.config.instr_auth_master)
         entities = [entity for entity, _mode in request.references]
         aborted: list[int] = []
-        if any(self.locks.coherence_count(entity) for entity in entities):
+        expired = (request.deadline is not None and
+                   self.env.now > request.deadline)
+        if expired:
+            # Deadline propagation: refuse authentication for doomed
+            # work so it stops consuming master locks.
+            granted = False
+            self.metrics.record_auth_deadline_refusal(self.site_id)
+        elif any(self.locks.coherence_count(entity)
+                 for entity in entities):
             granted = False  # in-flight asynchronous updates -> NAK
         else:
             granted = True
@@ -589,7 +896,162 @@ class LocalSite(SiteBase):
         self.locks.release_all(order.txn_id)
 
     def _handle_update_ack(self, ack: UpdateAck) -> None:
-        """Central applied our updates: decrement the coherence counts."""
+        """Central applied our updates: decrement the coherence counts.
+
+        Only batches still accounted as outstanding count -- a stale or
+        duplicated ack (possible across crash recovery or failover
+        re-sends) must not drive a coherence count below zero.
+        """
+        if self._unacked_updates.pop(ack.seq, None) is None:
+            return
         for group in ack.updates:
             for entity in group:
                 self.locks.decrement_coherence(entity)
+
+    # -- failover (hot standby took over) ------------------------------------
+
+    def _on_failover(self, notice: FailoverNotice) -> None:
+        """The standby is the central complex now: re-point and settle.
+
+        Everything that was in flight against the dead primary is
+        resolved conservatively: class A shipments re-run locally,
+        class B shipments re-ship to the standby, cancel handshakes are
+        answered "killed" on the primary's behalf, the primary's phantom
+        master locks are released (it can no longer commit anything),
+        and unacknowledged update batches are re-sent -- the standby
+        deduplicates them against the shipped log by ``(site, seq)``.
+        """
+        if self.on_standby:
+            return
+        self.on_standby = True
+        self.central_suspected = False
+        if notice.snapshot.time > self.central_snapshot.time:
+            self.central_snapshot = notice.snapshot
+        self.metrics.record_repoint(self.site_id)
+        if self.channel is not None:
+            # Stop retransmitting to the dead primary.
+            self.channel.abandon()
+        self._release_phantom_locks()
+        # Resolve in-flight cancel handshakes: the primary will never
+        # answer, and it can no longer commit, so "killed" is safe.
+        for txn_id in sorted(self._pending_cancels):
+            done = self._pending_cancels.pop(txn_id)
+            done.succeed(CancelAck(txn_id=txn_id, outcome="killed",
+                                   snapshot=notice.snapshot))
+        # Settle every in-flight shipment.
+        for txn_id in sorted(self._pending_ship):
+            txn = self._pending_ship.pop(txn_id)
+            self._redispatch_after_failover(txn)
+        # Re-send unacknowledged update batches to the standby.
+        for seq in sorted(self._unacked_updates):
+            self._send_central("update", UpdatePropagation(
+                self.site_id, self._unacked_updates[seq], seq=seq))
+        # Distributed-mode remote calls: refuse, the caller aborts and
+        # retries against the standby.
+        for call_id in sorted(self._pending_remote_calls):
+            done = self._pending_remote_calls.pop(call_id)
+            done.succeed(RemoteLockReply(call_id=call_id, txn_id=0,
+                                         granted=False,
+                                         snapshot=notice.snapshot))
+
+    def _release_phantom_locks(self) -> None:
+        """Release master locks held by the dead primary's transactions.
+
+        Any holder that is not a transaction running *at this site* was
+        granted during the authentication of a central/shipped
+        transaction at the deposed primary; the primary can never send
+        its commit or release order now, so the grant would pin the
+        entities forever.  Conservative abort-and-retry: drop them.
+        """
+        holders: set[int] = set()
+        for lock in self.locks._locks.values():
+            holders.update(lock.holders)
+        for txn_id in sorted(holders):
+            if txn_id not in self.active:
+                self.locks.release_all(txn_id)
+
+    def _redispatch_after_failover(self, txn: Transaction) -> None:
+        if txn.txn_class is TransactionClass.A:
+            self.shipped_in_flight -= 1
+            txn.route(Placement.LOCAL)
+            self.metrics.record_failover(txn)
+            self._start_process(txn, self._run_local(txn),
+                                suffix=":failover")
+        else:
+            # Class B can only run centrally: re-ship to the standby.
+            # This is the availability win over degrade-only operation,
+            # where the same transaction would simply fail.
+            self.metrics.record_reship(txn)
+            self._ship(txn)
+
+    # -- site crash and rejoin ------------------------------------------------
+
+    def on_crash(self) -> None:
+        """A SITE_CRASH episode begins (rejoin mode): lose volatile state.
+
+        Running transactions are interrupted (their locks die with the
+        lock table), shipped work is written off, the replica counters
+        and channel bookkeeping are wiped.  Durable state is exactly
+        what the rejoin snapshot can rebuild: nothing.
+        """
+        self.crashed = True
+        for process in list(self._local_processes.values()):
+            if process.is_alive:
+                process.interrupt("site-crash")
+        for process in list(self._watchdogs.values()):
+            if process.is_alive:
+                process.interrupt("site-crash")
+        for txn_id in sorted(self._pending_ship):
+            txn = self._pending_ship.pop(txn_id)
+            if txn.placement is Placement.SHIPPED:
+                self.shipped_in_flight -= 1
+            self.txns_lost_in_crash += 1
+            self.metrics.record_lost_in_crash(txn)
+        self._pending_cancels.clear()
+        self._pending_remote_calls.clear()
+        self._update_buffer.clear()
+        self._unacked_updates.clear()
+        # Fresh volatile state: lock table (with its coherence counts)
+        # and replica counters are gone.
+        self.locks = LockManager(self.env, name=self.name)
+        self.data = ReplicaStore(name=f"site-{self.site_id}")
+        self.central_snapshot = CentralSnapshot.empty()
+        self.central_suspected = False
+        if self.breaker is not None:
+            self.breaker.reset()
+
+    def begin_rejoin(self) -> None:
+        """The crash episode ended: run the catch-up protocol.
+
+        Channel incarnations are reset on both ends first, so every
+        frame from before (or during) the crash -- including the
+        central's retransmissions of messages the dead site never
+        processed -- is recognisably stale and dropped.
+        """
+        self.crashed = False
+        self.recovering = True
+        self._rejoin_started = self.env.now
+        self.system.reset_site_channels(self.site_id)
+        standby = getattr(self.system, "standby", None)
+        if standby is not None and standby.is_active and \
+                not self.on_standby:
+            # A failover happened while this site was dead; the notice
+            # was lost with everything else.  Re-point before rejoining.
+            self._on_failover(FailoverNotice(snapshot=standby.snapshot()))
+        self._send_central("rejoin", RejoinRequest(site=self.site_id))
+
+    def _install_rejoin_snapshot(self, snap: RejoinSnapshot):
+        """Catch-up state arrived: install it and open for business."""
+        recovery = self.recovery
+        if recovery is not None and recovery.instr_snapshot_apply:
+            yield from self.cpu_burst(recovery.instr_snapshot_apply)
+        store = ReplicaStore(name=f"site-{self.site_id}")
+        store.restore(snap.counts)
+        self.data = store
+        self.recovering = False
+        self.metrics.record_recovery("rejoin", self.site_id,
+                                     self._rejoin_started, self.env.now)
+        queued = self._admission_queue
+        self._admission_queue = []
+        for txn in queued:
+            self.submit(txn)

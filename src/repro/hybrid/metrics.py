@@ -138,6 +138,33 @@ class SimulationResult:
     #: (:class:`~repro.sim.faults.EpisodeReport`).
     fault_episodes: tuple = ()
 
+    # -- survivability extensions (defaulted; all zero/None without a
+    # -- recovery policy) ---------------------------------------------------
+
+    #: Arrivals shed by bounded admission control (site or central).
+    arrivals_shed: int = 0
+    #: Transactions destroyed with a site's volatile state by a crash.
+    txns_lost_in_crash: int = 0
+    #: Shipments cancelled because their end-to-end deadline passed.
+    txns_deadline_cancelled: int = 0
+    #: Class B shipments re-shipped to the standby after a failover.
+    txns_reshipped: int = 0
+    #: Circuit-breaker state transitions (open/half-open/closed).
+    breaker_transitions: int = 0
+    #: Hot-standby takeovers (0 or 1 per run -- failover is sticky).
+    failover_takeovers: int = 0
+    #: Completed site rejoin (catch-up) protocols.
+    site_rejoins: int = 0
+    #: Per-recovery protocol timings
+    #: (:class:`~repro.sim.faults.RecoveryRecord`).
+    recoveries: tuple = ()
+    #: Mean protocol-level repair time over all recoveries (seconds;
+    #: ``None`` when no recovery ran).
+    mttr: float | None = None
+    #: Mean sim-time between failure episodes: uptime divided by the
+    #: number of fault episodes (``None`` without any episode).
+    mtbf: float | None = None
+
     #: Flattened metrics-registry snapshot (``name{labels} -> value``):
     #: every instrument the subsystems published during the run.  All
     #: values are simulation-deterministic (no wall-clock quantities are
@@ -165,10 +192,12 @@ class SimulationResult:
         """Fraction of measured work requests eventually served.
 
         Committed transactions over committed plus permanently failed
-        plus rejected-at-arrival.  1.0 for any run without faults.
+        plus rejected-at-arrival plus shed-by-admission plus
+        lost-in-crash.  1.0 for any run without faults.
         """
         denominator = (self.completed + self.txns_failed +
-                       self.arrivals_rejected)
+                       self.arrivals_rejected + self.arrivals_shed +
+                       self.txns_lost_in_crash)
         if denominator == 0:
             return 1.0
         return self.completed / denominator
@@ -360,6 +389,41 @@ class MetricsCollector:
         self._faults = reg.counter(
             "fault_events", "fault-episode transitions (applies + "
             "reverts)").single
+
+        # Survivability counters (all stay zero unless the fault plan's
+        # recovery policy arms the corresponding protocol).
+        self._shed = reg.counter(
+            "arrivals_shed", "arrivals shed by bounded admission",
+            labels=("node",))
+        self._shed_total = 0
+        self._lost_in_crash = reg.counter(
+            "txns_lost_in_crash", "transactions destroyed with a "
+            "site's volatile state").single
+        self._deadline_cancelled = reg.counter(
+            "txn_deadline_cancels", "shipments cancelled past their "
+            "deadline").single
+        self._reshipped = reg.counter(
+            "txn_reshipped", "class B shipments re-shipped to the "
+            "standby after failover").single
+        self._breaker = reg.counter(
+            "breaker_transitions", "circuit-breaker transitions by "
+            "site and new state", labels=("site", "state"))
+        self._breaker_total = 0
+        self._takeovers = reg.counter(
+            "takeover_events", "standby takeover protocol events",
+            labels=("event",))
+        self._recovery_counter = reg.counter(
+            "recoveries", "completed recovery protocols by kind",
+            labels=("kind",))
+        self._fenced = reg.counter(
+            "fenced_frames", "frames discarded from a deposed primary",
+            labels=("site",))
+        self._auth_deadline = reg.counter(
+            "auth_deadline_refusals", "authentication rounds refused "
+            "for an expired deadline", labels=("site",))
+        #: Protocol-level recovery timings
+        #: (:class:`~repro.sim.faults.RecoveryRecord`).
+        self.recoveries: list = []
 
     # -- recording hooks (called by the sites) ------------------------------
 
@@ -561,6 +625,83 @@ class MetricsCollector:
         if self.measuring:
             self._duplicates.inc()
 
+    # -- survivability hooks (active only under a recovery policy) ----------
+
+    def record_shed(self, txn: Transaction, node: str) -> None:
+        """Bounded admission shed an arrival at ``node``."""
+        self.tracer.emit(self.env.now, "shed", txn=txn.txn_id,
+                         site=txn.home_site, node=node)
+        if self.measuring:
+            self._shed.labels(node).inc()
+            self._shed_total += 1
+
+    def record_lost_in_crash(self, txn: Transaction) -> None:
+        """A site crash destroyed this in-flight transaction."""
+        self.tracer.emit(self.env.now, "txn-lost", txn=txn.txn_id,
+                         site=txn.home_site)
+        if self.measuring:
+            self._lost_in_crash.inc()
+
+    def record_deadline_cancel(self, txn: Transaction) -> None:
+        """A shipment was cancelled because its deadline passed."""
+        self.tracer.emit(self.env.now, "deadline-cancel",
+                         txn=txn.txn_id, site=txn.home_site)
+        if self.measuring:
+            self._deadline_cancelled.inc()
+
+    def record_reship(self, txn: Transaction) -> None:
+        """A class B shipment was re-shipped to the standby."""
+        self.tracer.emit(self.env.now, "reship", txn=txn.txn_id,
+                         site=txn.home_site)
+        if self.measuring:
+            self._reshipped.inc()
+
+    def record_breaker(self, site: int, state: str) -> None:
+        """A site's circuit breaker changed state.
+
+        Counted unconditionally: breaker state is part of the failure
+        timeline, like fault-episode transitions.
+        """
+        self.tracer.emit(self.env.now, "breaker", site=site, state=state)
+        self._breaker.labels(f"site-{site}", state).inc()
+        self._breaker_total += 1
+
+    def record_takeover(self, event: str) -> None:
+        """A takeover protocol event (``takeover``/``primary-deposed``/
+        ``repoint-...``) occurred.  Counted unconditionally."""
+        self.tracer.emit(self.env.now, "takeover", event=event)
+        self._takeovers.labels(event).inc()
+
+    def record_repoint(self, site: int) -> None:
+        """A site re-pointed its central routing at the standby."""
+        self.record_takeover(f"repoint-site-{site}")
+
+    def record_recovery(self, kind: str, site: int | None,
+                        started: float, completed: float) -> None:
+        """One recovery protocol (failover or rejoin) completed.
+
+        Recorded unconditionally -- recovery timing is part of the
+        experiment design, like the fault schedule itself.
+        """
+        from ..sim.faults import RecoveryRecord
+        self.tracer.emit(self.env.now, "recovery", recovery=kind,
+                         site=site, started=round(started, 6),
+                         completed=round(completed, 6))
+        self._recovery_counter.labels(kind).inc()
+        self.recoveries.append(RecoveryRecord(
+            kind=kind, site=site, started=started, completed=completed))
+
+    def record_fenced(self, site: int) -> None:
+        """A frame from the deposed primary was discarded (registry-only
+        hook: fencing is too frequent for the trace)."""
+        self._fenced.labels(f"site-{site}").inc()
+
+    def record_auth_deadline_refusal(self, site: int) -> None:
+        """A master refused authentication for an expired deadline
+        (registry-only hook)."""
+        if self.measuring:
+            self._auth_deadline.labels(f"site-{site}").inc()
+
     def record_population(self, n_local_total: int, n_central: int) -> None:
         """Sample the per-site population time series (called on changes)."""
         self.n_local.record(self.env.now, n_local_total)
@@ -648,6 +789,26 @@ class MetricsCollector:
     def fault_events(self) -> int:
         return int(self._faults.value)
 
+    @property
+    def arrivals_shed(self) -> int:
+        return self._shed_total
+
+    @property
+    def txns_lost_in_crash(self) -> int:
+        return int(self._lost_in_crash.value)
+
+    @property
+    def txns_deadline_cancelled(self) -> int:
+        return int(self._deadline_cancelled.value)
+
+    @property
+    def txns_reshipped(self) -> int:
+        return int(self._reshipped.value)
+
+    @property
+    def breaker_transitions(self) -> int:
+        return self._breaker_total
+
     # -- summary -------------------------------------------------------------
 
     @property
@@ -690,6 +851,16 @@ class MetricsCollector:
             placement: _phase_means(stats)
             for placement, stats in self.phase_by_placement.items()
             if any(stat.count for stat in stats.values())}
+        recoveries = tuple(self.recoveries)
+        durations = [record.duration for record in recoveries]
+        mttr = sum(durations) / len(durations) if durations else None
+        episodes = tuple(fault_episodes)
+        mtbf = None
+        if episodes:
+            downtime = sum(max(episode.end - episode.start, 0.0)
+                           for episode in episodes)
+            uptime = max(self.env.now - downtime, 0.0)
+            mtbf = uptime / len(episodes)
         return SimulationResult(
             total_rate=total_rate,
             comm_delay=comm_delay,
@@ -736,6 +907,18 @@ class MetricsCollector:
             messages_retransmitted=self.messages_retransmitted,
             duplicate_messages=self.duplicate_messages,
             fault_events=self.fault_events,
-            fault_episodes=tuple(fault_episodes),
+            fault_episodes=episodes,
+            arrivals_shed=self.arrivals_shed,
+            txns_lost_in_crash=self.txns_lost_in_crash,
+            txns_deadline_cancelled=self.txns_deadline_cancelled,
+            txns_reshipped=self.txns_reshipped,
+            breaker_transitions=self.breaker_transitions,
+            failover_takeovers=sum(1 for record in recoveries
+                                   if record.kind == "failover"),
+            site_rejoins=sum(1 for record in recoveries
+                             if record.kind == "rejoin"),
+            recoveries=recoveries,
+            mttr=mttr,
+            mtbf=mtbf,
             metrics=self.registry.snapshot(),
         )

@@ -43,6 +43,13 @@ __all__ = [
     "TxnResponse",
     "ShipmentCancel",
     "CancelAck",
+    "ShipmentReject",
+    "Heartbeat",
+    "LogRecord",
+    "TakeoverNotice",
+    "FailoverNotice",
+    "RejoinRequest",
+    "RejoinSnapshot",
     "RemoteLockRequest",
     "RemoteLockReply",
     "RemoteCommit",
@@ -82,11 +89,20 @@ class TxnShipment:
 
 @dataclass
 class UpdatePropagation:
-    """Asynchronous update batch from a local commit (or several)."""
+    """Asynchronous update batch from a local commit (or several).
+
+    ``seq`` is a per-site monotone batch number (starting at 1).  The
+    matching :class:`UpdateAck` echoes it, so a site only decrements
+    coherence counts for batches it still accounts as outstanding --
+    a stale or duplicated ack (possible across crash recovery or a
+    failover, where batches are re-sent to the standby) is then inert
+    instead of driving a coherence count below zero.
+    """
 
     source_site: int
     #: Exclusive-mode entities per committed transaction in the batch.
     updates: tuple[tuple[int, ...], ...]
+    seq: int = 0
 
     @property
     def entities(self) -> tuple[int, ...]:
@@ -99,6 +115,7 @@ class UpdateAck:
 
     updates: tuple[tuple[int, ...], ...]
     snapshot: CentralSnapshot
+    seq: int = 0
 
     @property
     def entities(self) -> tuple[int, ...]:
@@ -107,12 +124,19 @@ class UpdateAck:
 
 @dataclass
 class AuthRequest:
-    """Authentication-phase lock list for one committing transaction."""
+    """Authentication-phase lock list for one committing transaction.
+
+    ``deadline`` propagates the transaction's end-to-end deadline (when
+    overload control arms one): a master site refuses authentication for
+    a transaction that has already missed it, so doomed work stops
+    consuming master locks.
+    """
 
     auth_id: int
     txn_id: int
     references: tuple[tuple[int, LockMode], ...]
     snapshot: CentralSnapshot
+    deadline: float | None = None
 
 
 @dataclass
@@ -186,6 +210,105 @@ class CancelAck:
 
     txn_id: int
     outcome: str
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class ShipmentReject:
+    """Central -> site: admission control refused the shipment.
+
+    The central complex's bounded admission queue was full; the
+    transaction never started there.  The home site re-routes class A
+    work locally and fails class B work fast (cause
+    ``"central-overload"``) instead of waiting out the retry budget.
+    """
+
+    txn_id: int
+    snapshot: CentralSnapshot
+
+
+# ---------------------------------------------------------------------------
+# Hot-standby failover and site rejoin (active only when the fault plan's
+# RecoveryPolicy enables them).  The primary streams its applied updates
+# and heartbeats to the standby over a dedicated log channel; the standby
+# declares the primary dead when the heartbeat lease expires, replays the
+# shipped log and broadcasts FailoverNotice so sites re-point.  A crashed
+# site runs the RejoinRequest/RejoinSnapshot catch-up before admitting
+# queued arrivals.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Heartbeat:
+    """Primary -> standby: liveness beacon (sent unreliably).
+
+    Deliberately outside the reliable channel: a retransmitted
+    heartbeat would defeat its purpose, which is that *silence* means
+    death.
+    """
+
+    time: float
+
+
+@dataclass
+class LogRecord:
+    """Primary -> standby: one shipped log entry (reliable, in order).
+
+    ``kind`` is ``"update"`` for a site's propagated batch (``site`` /
+    ``seq`` identify it for standby-side deduplication against direct
+    re-sends after failover) or ``"commit"`` for a central transaction's
+    own committed updates (``site`` is ``None``).
+    """
+
+    kind: str
+    updates: tuple[tuple[int, ...], ...]
+    site: int | None = None
+    seq: int = 0
+
+
+@dataclass
+class TakeoverNotice:
+    """Standby -> primary: you have been deposed.
+
+    Delivered reliably, so it arrives once the partition heals; the
+    deposed primary kills its in-flight work and stops transmitting.
+    """
+
+    time: float
+
+
+@dataclass
+class FailoverNotice:
+    """Standby -> every site: the standby is now the central complex.
+
+    Sites re-point their central routing at the standby, settle
+    in-flight shipments (class A re-runs locally, class B re-ships to
+    the standby), re-send unacknowledged update batches and fence all
+    further traffic from the deposed primary.
+    """
+
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class RejoinRequest:
+    """Site -> central: a crashed site asks to be caught up."""
+
+    site: int
+
+
+@dataclass
+class RejoinSnapshot:
+    """Central -> site: catch-up state for a rejoining site.
+
+    ``counts`` is the central replica's view of the site's mastered
+    partition (entity -> update count); installing it replaces whatever
+    volatile state the crash destroyed, including updates the site
+    itself lost in flight.
+    """
+
+    site: int
+    counts: dict[int, int]
     snapshot: CentralSnapshot
 
 

@@ -28,6 +28,7 @@ from .central import CentralSite
 from .config import SystemConfig
 from .local import LocalSite
 from .metrics import MetricsCollector, SimulationResult
+from .standby import StandbyCentral
 from .telemetry import TelemetrySampler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -107,25 +108,70 @@ class HybridSystem:
         # plain one.
         self.fault_plan = fault_plan
         self.injector: FaultInjector | None = None
+        self.standby: StandbyCentral | None = None
         if fault_plan is not None and not fault_plan.is_empty:
             retry = fault_plan.retry
+
+            def endpoint(link: Link, name: str) -> ReliableEndpoint:
+                return ReliableEndpoint(
+                    self.env, link, name=name,
+                    timeout=retry.message_timeout, backoff=retry.backoff,
+                    max_timeout=retry.max_message_timeout,
+                    on_retransmit=self.metrics.record_retransmit,
+                    on_duplicate=self.metrics.record_duplicate)
+
             for site, up, down in zip(self.sites, to_central, from_central):
                 for link in (up, down):
                     link.on_drop = self.metrics.record_drop
-                site_chan = ReliableEndpoint(
-                    self.env, up, name=f"chan:site-{site.site_id}",
-                    timeout=retry.message_timeout, backoff=retry.backoff,
-                    max_timeout=retry.max_message_timeout,
-                    on_retransmit=self.metrics.record_retransmit,
-                    on_duplicate=self.metrics.record_duplicate)
-                central_chan = ReliableEndpoint(
-                    self.env, down, name=f"chan:central-{site.site_id}",
-                    timeout=retry.message_timeout, backoff=retry.backoff,
-                    max_timeout=retry.max_message_timeout,
-                    on_retransmit=self.metrics.record_retransmit,
-                    on_duplicate=self.metrics.record_duplicate)
+                site_chan = endpoint(up, f"chan:site-{site.site_id}")
+                central_chan = endpoint(down,
+                                        f"chan:central-{site.site_id}")
                 site.enable_reliability(site_chan, retry)
                 self.central.enable_reliability(site.site_id, central_chan)
+
+            # Survivability protocols: armed only when the plan's
+            # recovery policy asks for them, so ordinary fault plans
+            # behave exactly as before.
+            recovery = fault_plan.recovery
+            if recovery.enabled:
+                self.central.enable_recovery(recovery)
+                for site in self.sites:
+                    site.enable_recovery(recovery)
+            if recovery.failover:
+                self.standby = StandbyCentral(self.env, config, self,
+                                              self.partition)
+                self.standby.enable_recovery(recovery)
+                standby_to_sites = []
+                standby_from_sites = []
+                for site in self.sites:
+                    up = Link(self.env, config.comm_delay,
+                              name=f"site-{site.site_id}->standby")
+                    down = Link(self.env, config.comm_delay,
+                                name=f"standby->site-{site.site_id}")
+                    for link in (up, down):
+                        link.on_drop = self.metrics.record_drop
+                    site_sb = endpoint(up, f"chan:site-{site.site_id}-sb")
+                    standby_chan = endpoint(
+                        down, f"chan:standby-{site.site_id}")
+                    site.attach_standby(up, down, site_sb)
+                    self.standby.enable_reliability(site.site_id,
+                                                    standby_chan)
+                    standby_to_sites.append(down)
+                    standby_from_sites.append(up)
+                self.standby.attach_links(to_sites=standby_to_sites,
+                                          from_sites=standby_from_sites)
+                # Dedicated primary->standby log/heartbeat link pair.
+                log_up = Link(self.env, config.comm_delay,
+                              name="central->standby")
+                log_down = Link(self.env, config.comm_delay,
+                                name="standby->central")
+                for link in (log_up, log_down):
+                    link.on_drop = self.metrics.record_drop
+                primary_log = endpoint(log_up, "chan:log-primary")
+                standby_log = endpoint(log_down, "chan:log-standby")
+                self.central.start_log_shipping(primary_log, log_down)
+                self.standby.start_standby(standby_log, log_up,
+                                           (log_up, log_down))
             self.injector = FaultInjector(self, fault_plan)
 
         self.factory = TransactionFactory(config.workload, self.streams)
@@ -154,8 +200,17 @@ class HybridSystem:
         return sum(len(site.active) for site in self.sites)
 
     @property
+    def acting_central(self) -> CentralSite:
+        """The central complex currently in charge (standby after a
+        failover, the primary otherwise)."""
+        standby = self.standby
+        if standby is not None and standby.is_active:
+            return standby
+        return self.central
+
+    @property
     def n_central(self) -> int:
-        return len(self.central.active)
+        return len(self.acting_central.active)
 
     def _sampler(self):
         interval = SAMPLE_INTERVAL
@@ -168,7 +223,23 @@ class HybridSystem:
                                 for site in self.sites) /
                             len(self.sites))
             self._q_local_tw.record(now, mean_q_local)
-            self._q_central_tw.record(now, self.central.cpu_queue_length)
+            self._q_central_tw.record(
+                now, self.acting_central.cpu_queue_length)
+
+    def reset_site_channels(self, site_id: int) -> None:
+        """Start a new channel incarnation on every path touching a
+        crashed site (both ends together, standby pair included)."""
+        site = self.sites[site_id]
+        pairs = [(site.channel, self.central.channels.get(site_id))]
+        if site.standby_channel is not None and self.standby is not None:
+            pairs.append((site.standby_channel,
+                          self.standby.channels.get(site_id)))
+        for site_end, central_end in pairs:
+            if site_end is None or central_end is None:
+                continue
+            incarnation = site_end.incarnation + 1
+            site_end.reset(incarnation)
+            central_end.reset(incarnation)
 
     def _reset_after_warmup(self) -> None:
         now = self.env.now
@@ -206,6 +277,47 @@ class HybridSystem:
                 if link.messages_dropped:
                     link_msgs.labels(link.name, "dropped").set(
                         link.messages_dropped)
+        if self.injector is not None:
+            frames = reg.gauge(
+                "channel_frames",
+                "reliable channel counters by endpoint and event",
+                labels=("endpoint", "event"))
+            endpoints = [site.channel for site in self.sites]
+            endpoints += [self.central.channels[site.site_id]
+                          for site in self.sites]
+            if self.standby is not None:
+                endpoints += [site.standby_channel for site in self.sites]
+                endpoints += [self.standby.channels[site.site_id]
+                              for site in self.sites]
+                endpoints += [self.central.log_endpoint,
+                              self.standby.log_endpoint]
+            for chan in endpoints:
+                if chan is None:
+                    continue
+                frames.labels(chan.name, "retransmits").set(
+                    chan.retransmits)
+                frames.labels(chan.name, "duplicates").set(
+                    chan.duplicates_discarded)
+                frames.labels(chan.name, "acks_sent").set(chan.acks_sent)
+                frames.labels(chan.name, "stale_frames").set(
+                    chan.stale_frames)
+                frames.labels(chan.name, "ack_lag").set(chan.unacked)
+            breakers = reg.gauge("breaker_state",
+                                 "circuit breaker end state by site",
+                                 labels=("site", "state"))
+            for site in self.sites:
+                if site.breaker is not None:
+                    breakers.labels(site.name, site.breaker.state).set(1)
+            if self.standby is not None:
+                grants.labels("standby").set(self.standby.cpu.grants)
+                for link in self.standby.log_links:
+                    link_msgs.labels(link.name, "sent").set(
+                        link.messages_sent)
+                    link_msgs.labels(link.name, "delivered").set(
+                        link.messages_delivered)
+                    if link.messages_dropped:
+                        link_msgs.labels(link.name, "dropped").set(
+                            link.messages_dropped)
         reg.gauge("engine_events",
                   "kernel events dispatched").single.set(
             self.env.events_processed)
@@ -230,8 +342,9 @@ class HybridSystem:
         series = self.telemetry.series
         fault_episodes = ()
         if self.injector is not None:
-            fault_episodes = episode_reports(self.injector.applied,
-                                             series.windows)
+            fault_episodes = episode_reports(
+                self.injector.applied, series.windows,
+                recoveries=self.metrics.recoveries)
         return self.metrics.freeze(
             total_rate=config.workload.total_arrival_rate,
             comm_delay=config.comm_delay,

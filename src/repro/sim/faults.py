@@ -34,6 +34,11 @@ events, and is bit-identical to a run without any plan at all.
 retransmission timeouts, the transaction-level shipment retry budget and
 the snapshot staleness bound) so :class:`~repro.hybrid.config.SystemConfig`
 -- and therefore every existing result-cache key -- stays untouched.
+:class:`RecoveryPolicy` does the same for the recovery subsystem
+(hot-standby failover, site rejoin with catch-up, and overload control);
+all of its features default to *off*, and a plan whose recovery policy
+is disabled serialises exactly as before, so failover-disabled runs stay
+bit-identical to the pre-recovery behaviour.
 """
 
 from __future__ import annotations
@@ -47,10 +52,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CENTRAL_OUTAGE", "SITE_CRASH", "LINK_DEGRADATION", "CPU_SLOWDOWN",
-    "FAULT_KINDS", "FaultEpisode", "RetryPolicy", "FaultPlan",
-    "FaultInjector", "EpisodeReport", "episode_reports",
+    "FAULT_KINDS", "FaultEpisode", "RetryPolicy", "RecoveryPolicy",
+    "FaultPlan", "FaultInjector", "EpisodeReport", "RecoveryRecord",
+    "episode_reports", "effective_central_state", "effective_site_state",
     "standard_outage_plan", "lossy_links_plan", "site_crash_plan",
-    "chaos_plan", "NAMED_PLANS", "resolve_fault_plan",
+    "chaos_plan", "failover_outage_plan", "rejoin_crash_plan",
+    "breaker_flap_plan", "NAMED_PLANS", "resolve_fault_plan",
 ]
 
 CENTRAL_OUTAGE = "central-outage"
@@ -154,11 +161,97 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class RecoveryPolicy:
+    """Recovery and overload-control knobs (everything defaults to off).
+
+    Like :class:`RetryPolicy`, this rides on the :class:`FaultPlan`
+    rather than on :class:`~repro.hybrid.config.SystemConfig`, so plain
+    runs and existing cache keys are untouched.  Three independent
+    feature groups:
+
+    * ``failover`` -- wire a hot-standby central that receives the
+      primary's update stream over a reliable log channel, detects
+      primary death by heartbeat lease (``heartbeat_interval`` /
+      ``lease_timeout``) and deterministically takes over
+      (``instr_takeover`` CPU instructions, ``instr_log_replay`` per
+      shipped log record applied).
+    * ``rejoin`` -- a crashed site loses its volatile state (running
+      transactions, lock table, replica, update buffers) and on episode
+      end runs an explicit catch-up: snapshot request to the active
+      central (``instr_snapshot`` to build, ``instr_snapshot_apply`` to
+      install) before queued arrivals are admitted.
+    * overload control -- ``admission_limit`` bounds each node's
+      resident transaction set (excess arrivals are shed);
+      ``deadline`` > 0 stamps every transaction with an end-to-end
+      deadline propagated through shipment/auth messages and cancelled
+      early via the ``ShipmentCancel`` handshake;
+      ``breaker_threshold`` > 0 arms a circuit breaker on the
+      site->central path that opens after that many consecutive
+      shipment timeouts and half-opens after ``breaker_cooldown``
+      seconds, admitting probe shipments with probability
+      ``breaker_probe`` drawn from the named ``breaker:site-N`` stream.
+    """
+
+    failover: bool = False
+    heartbeat_interval: float = 0.5
+    lease_timeout: float = 2.0
+    instr_takeover: int = 150_000
+    instr_log_replay: int = 15_000
+    rejoin: bool = False
+    instr_snapshot: int = 60_000
+    instr_snapshot_apply: int = 60_000
+    admission_limit: int = 0
+    deadline: float = 0.0
+    breaker_threshold: int = 0
+    breaker_cooldown: float = 4.0
+    breaker_probe: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval}")
+        if self.lease_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"lease_timeout ({self.lease_timeout}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval})")
+        for name in ("instr_takeover", "instr_log_replay",
+                     "instr_snapshot", "instr_snapshot_apply"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.admission_limit < 0:
+            raise ValueError(
+                f"admission_limit must be >= 0, got {self.admission_limit}")
+        if self.deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {self.deadline}")
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, "
+                f"got {self.breaker_threshold}")
+        if self.breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, "
+                f"got {self.breaker_cooldown}")
+        if not 0.0 < self.breaker_probe <= 1.0:
+            raise ValueError(
+                f"breaker_probe must be in (0, 1], "
+                f"got {self.breaker_probe}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any recovery/overload feature is switched on."""
+        return bool(self.failover or self.rejoin or
+                    self.admission_limit > 0 or self.deadline > 0 or
+                    self.breaker_threshold > 0)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable schedule of fault episodes plus the retry policy."""
 
     episodes: tuple[FaultEpisode, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "episodes", tuple(self.episodes))
@@ -180,11 +273,21 @@ class FaultPlan:
                     duration=ep.duration * factor)
             for ep in self.episodes))
 
+    def with_recovery(self, recovery: RecoveryPolicy) -> "FaultPlan":
+        """The same schedule with a different recovery policy."""
+        return replace(self, recovery=recovery)
+
     # -- serialisation -------------------------------------------------------
 
     def as_dict(self) -> dict:
-        """Canonical plain-data rendering (cache keys, JSON export)."""
-        return {
+        """Canonical plain-data rendering (cache keys, JSON export).
+
+        The ``recovery`` block is emitted only when the policy differs
+        from the all-defaults one, so plans that predate the recovery
+        subsystem keep byte-identical renderings (and JSON round-trip
+        stays the identity in both directions).
+        """
+        data = {
             "episodes": [
                 {
                     "kind": ep.kind, "start": ep.start,
@@ -205,13 +308,26 @@ class FaultPlan:
                 "snapshot_max_age": self.retry.snapshot_max_age,
             },
         }
+        if self.recovery != RecoveryPolicy():
+            data["recovery"] = {
+                name: getattr(self.recovery, name)
+                for name in ("failover", "heartbeat_interval",
+                             "lease_timeout", "instr_takeover",
+                             "instr_log_replay", "rejoin",
+                             "instr_snapshot", "instr_snapshot_apply",
+                             "admission_limit", "deadline",
+                             "breaker_threshold", "breaker_cooldown",
+                             "breaker_probe")
+            }
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "FaultPlan":
         episodes = tuple(FaultEpisode(**entry)
                          for entry in data.get("episodes", ()))
         retry = RetryPolicy(**data.get("retry", {}))
-        return FaultPlan(episodes=episodes, retry=retry)
+        recovery = RecoveryPolicy(**data.get("recovery", {}))
+        return FaultPlan(episodes=episodes, retry=retry, recovery=recovery)
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
@@ -296,11 +412,64 @@ def chaos_plan(warmup_time: float = 30.0, measure_time: float = 90.0,
         retry=retry or RetryPolicy())
 
 
+def failover_outage_plan(warmup_time: float = 30.0,
+                         measure_time: float = 90.0,
+                         retry: RetryPolicy | None = None) -> FaultPlan:
+    """The standard central outage, survived by hot-standby failover.
+
+    Identical schedule to :func:`standard_outage_plan`; the recovery
+    policy arms the standby so class-B work keeps completing during the
+    episode instead of failing permanently.
+    """
+    plan = standard_outage_plan(warmup_time, measure_time, retry)
+    return plan.with_recovery(RecoveryPolicy(failover=True))
+
+
+def rejoin_crash_plan(warmup_time: float = 30.0,
+                      measure_time: float = 90.0, site: int = 0,
+                      retry: RetryPolicy | None = None) -> FaultPlan:
+    """A site crash with volatile-state loss and explicit rejoin.
+
+    Identical schedule to :func:`site_crash_plan`; the recovery policy
+    makes the crash lose volatile state, queue arrivals (bounded) and
+    run the snapshot catch-up protocol at episode end.
+    """
+    plan = site_crash_plan(warmup_time, measure_time, site, retry)
+    return plan.with_recovery(RecoveryPolicy(rejoin=True,
+                                             admission_limit=64))
+
+
+def breaker_flap_plan(warmup_time: float = 30.0,
+                      measure_time: float = 90.0,
+                      retry: RetryPolicy | None = None) -> FaultPlan:
+    """Heavy link loss exercising the full overload-control stack.
+
+    Lossy enough that shipments repeatedly time out, tripping the
+    site->central circuit breaker, which then half-opens into a network
+    that is still degraded (flapping).  Deadlines and admission bounds
+    are armed so shedding and early cancellation fire too.
+    """
+    start = warmup_time + 0.15 * measure_time
+    duration = 0.60 * measure_time
+    plan = FaultPlan(
+        episodes=(FaultEpisode(kind=LINK_DEGRADATION, start=start,
+                               duration=duration,
+                               drop_probability=0.35, jitter=0.1,
+                               delay_factor=1.5),),
+        retry=retry or RetryPolicy())
+    return plan.with_recovery(RecoveryPolicy(
+        breaker_threshold=2, breaker_cooldown=3.0, breaker_probe=0.5,
+        admission_limit=96, deadline=12.0))
+
+
 NAMED_PLANS = {
     "central-outage": standard_outage_plan,
     "lossy-links": lossy_links_plan,
     "site-crash": site_crash_plan,
     "chaos": chaos_plan,
+    "central-outage-failover": failover_outage_plan,
+    "site-crash-rejoin": rejoin_crash_plan,
+    "breaker-flap": breaker_flap_plan,
 }
 
 
@@ -329,6 +498,49 @@ def resolve_fault_plan(spec: str, warmup_time: float,
 # ---------------------------------------------------------------------------
 # Runtime injection.
 # ---------------------------------------------------------------------------
+
+
+def effective_central_state(active: Sequence[FaultEpisode]
+                            ) -> tuple[bool, float]:
+    """Compose the central complex's ``(down, slowdown)`` state.
+
+    Pure function of the currently active episode set; order-independent
+    (overlap composition is commutative), which the property suite
+    checks directly.
+    """
+    down = any(ep.kind == CENTRAL_OUTAGE for ep in active)
+    slow = 1.0
+    for ep in active:
+        if ep.kind == CPU_SLOWDOWN and ep.site is None:
+            slow = max(slow, ep.slowdown)
+    return down, slow
+
+
+def effective_site_state(active: Sequence[FaultEpisode], site_id: int,
+                         central_down: bool | None = None
+                         ) -> tuple[bool, float, float, float, float]:
+    """Compose one site's ``(down, slow, drop, jitter, delay_factor)``.
+
+    Pure and order-independent, like :func:`effective_central_state`.
+    ``central_down`` may be precomputed; ``None`` derives it from
+    ``active``.
+    """
+    if central_down is None:
+        central_down = any(ep.kind == CENTRAL_OUTAGE for ep in active)
+    site_down = any(ep.kind == SITE_CRASH and ep.site == site_id
+                    for ep in active)
+    slow = 1.0
+    drop = 1.0 if (central_down or site_down) else 0.0
+    jitter = 0.0
+    factor = 1.0
+    for ep in active:
+        if ep.kind == CPU_SLOWDOWN and ep.site == site_id:
+            slow = max(slow, ep.slowdown)
+        if ep.kind == LINK_DEGRADATION and ep.site in (None, site_id):
+            drop = max(drop, ep.drop_probability)
+            jitter = max(jitter, ep.jitter)
+            factor = max(factor, ep.delay_factor)
+    return site_down, slow, drop, jitter, factor
 
 
 class FaultInjector:
@@ -360,57 +572,90 @@ class FaultInjector:
         self.system.metrics.record_fault(episode.kind, "apply",
                                          site=episode.site)
         self._refresh()
+        if episode.kind == SITE_CRASH and self._rejoin_enabled():
+            self.system.sites[episode.site].on_crash()
         yield self.env.timeout(episode.duration)
         self._active.remove(episode)
         self.applied.append(episode)
         self.system.metrics.record_fault(episode.kind, "revert",
                                          site=episode.site)
         self._refresh()
+        if episode.kind == SITE_CRASH and self._rejoin_enabled():
+            self.system.sites[episode.site].begin_rejoin()
+
+    def _rejoin_enabled(self) -> bool:
+        return self.plan.recovery.rejoin
 
     # -- effective-state computation ----------------------------------------
 
+    def _set_link_fault(self, link, drop: float, jitter: float,
+                        factor: float) -> None:
+        if drop == 0.0 and jitter == 0.0 and factor == 1.0:
+            link.clear_fault()
+        else:
+            rng = (self.system.streams.stream(f"fault-link:{link.name}")
+                   if (0.0 < drop < 1.0 or jitter > 0.0) else None)
+            link.set_fault(drop_probability=drop, jitter=jitter,
+                           delay_factor=factor, rng=rng)
+
     def _refresh(self) -> None:
         system = self.system
-        central_down = any(ep.kind == CENTRAL_OUTAGE for ep in self._active)
+        central_down, central_slow = effective_central_state(self._active)
         system.central.down = central_down
-        central_slow = 1.0
-        for ep in self._active:
-            if ep.kind == CPU_SLOWDOWN and ep.site is None:
-                central_slow = max(central_slow, ep.slowdown)
         system.central.service_scale = central_slow
 
+        # A central outage also severs the primary<->standby log links
+        # (the standby's own site links stay up -- that is the point of
+        # a *hot* standby on independent infrastructure).
+        standby = getattr(system, "standby", None)
+        if standby is not None:
+            for link in standby.log_links:
+                self._set_link_fault(link, 1.0 if central_down else 0.0,
+                                     0.0, 1.0)
+
         for site in system.sites:
-            site_down = any(ep.kind == SITE_CRASH and
-                            ep.site == site.site_id
-                            for ep in self._active)
+            site_down, slow, drop, jitter, factor = effective_site_state(
+                self._active, site.site_id, central_down=central_down)
             site.down = site_down
-            slow = 1.0
-            drop = 1.0 if (central_down or site_down) else 0.0
-            jitter = 0.0
-            factor = 1.0
-            for ep in self._active:
-                if ep.kind == CPU_SLOWDOWN and ep.site == site.site_id:
-                    slow = max(slow, ep.slowdown)
-                if ep.kind == LINK_DEGRADATION and \
-                        ep.site in (None, site.site_id):
-                    drop = max(drop, ep.drop_probability)
-                    jitter = max(jitter, ep.jitter)
-                    factor = max(factor, ep.delay_factor)
             site.service_scale = slow
             for link in (site.to_central, site.from_central):
-                if drop == 0.0 and jitter == 0.0 and factor == 1.0:
-                    link.clear_fault()
-                else:
-                    rng = (self.system.streams.stream(
-                        f"fault-link:{link.name}")
-                        if (0.0 < drop < 1.0 or jitter > 0.0) else None)
-                    link.set_fault(drop_probability=drop, jitter=jitter,
-                                   delay_factor=factor, rng=rng)
+                self._set_link_fault(link, drop, jitter, factor)
+            # The site's standby links share the site's fate (crash,
+            # degradation) but not the central outage: the standby is
+            # reachable while the primary is dark.
+            if standby is not None:
+                _, _, sdrop, sjitter, sfactor = effective_site_state(
+                    self._active, site.site_id, central_down=False)
+                for link in site.standby_links:
+                    self._set_link_fault(link, sdrop, sjitter, sfactor)
 
 
 # ---------------------------------------------------------------------------
 # Availability reporting.
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed recovery-protocol run (failover or rejoin).
+
+    ``started`` anchors the measurement at the failure: for a failover
+    it is the last heartbeat the standby heard before declaring the
+    primary dead (within one heartbeat interval of the actual outage
+    start); for a rejoin it is the moment the crash episode ended and
+    repair could begin.  ``completed`` is when service was restored
+    (failover notices broadcast / catch-up snapshot installed), so
+    ``duration`` is the protocol-level repair time the MTTR averages.
+    """
+
+    kind: str  # "failover" | "rejoin"
+    site: int | None
+    started: float
+    completed: float
+
+    @property
+    def duration(self) -> float:
+        return self.completed - self.started
 
 
 @dataclass(frozen=True)
@@ -423,6 +668,9 @@ class EpisodeReport:
     ``time_to_recover`` is the delay from the episode's end until a
     window's throughput first regains ``recovery_fraction`` of the
     baseline (``None`` when the run ended first or no baseline exists).
+    ``recovery_time`` is the protocol-level repair duration of the
+    matched :class:`RecoveryRecord` (``None`` when no recovery protocol
+    ran for this episode).
     """
 
     kind: str
@@ -432,19 +680,40 @@ class EpisodeReport:
     baseline_throughput: float
     degraded_throughput: float
     time_to_recover: float | None
+    recovery_time: float | None = None
+
+
+def _match_recovery(episode: FaultEpisode,
+                    recoveries: list[RecoveryRecord]
+                    ) -> RecoveryRecord | None:
+    """Pop the recovery record belonging to ``episode``, if any."""
+    for index, rec in enumerate(recoveries):
+        if rec.kind == "failover" and episode.kind == CENTRAL_OUTAGE and \
+                episode.start - 1e-9 <= rec.completed and \
+                rec.started <= episode.end + 1e-9:
+            return recoveries.pop(index)
+        if rec.kind == "rejoin" and episode.kind == SITE_CRASH and \
+                rec.site == episode.site and \
+                rec.started >= episode.end - 1e-9:
+            return recoveries.pop(index)
+    return None
 
 
 def episode_reports(episodes: Sequence[FaultEpisode], windows: Sequence,
                     baseline_windows: int = 10,
-                    recovery_fraction: float = 0.7
+                    recovery_fraction: float = 0.7,
+                    recoveries: Sequence[RecoveryRecord] = ()
                     ) -> tuple[EpisodeReport, ...]:
     """Compute per-episode availability summaries from telemetry windows.
 
     ``windows`` is any sequence with ``start``/``end``/``throughput``
     attributes (duck-typed so this module needs no import from
-    :mod:`repro.hybrid`).
+    :mod:`repro.hybrid`).  ``recoveries`` are the recovery-protocol
+    completions observed during the run; each is matched to its episode
+    (first unmatched record wins) to fill ``recovery_time``.
     """
     reports = []
+    unmatched = list(recoveries)
     for episode in episodes:
         before = [w.throughput for w in windows if w.end <= episode.start]
         during = [w.throughput for w in windows
@@ -460,8 +729,10 @@ def episode_reports(episodes: Sequence[FaultEpisode], windows: Sequence,
                         window.throughput >= target:
                     recovery = window.end - episode.end
                     break
+        matched = _match_recovery(episode, unmatched)
         reports.append(EpisodeReport(
             kind=episode.kind, site=episode.site, start=episode.start,
             end=episode.end, baseline_throughput=baseline,
-            degraded_throughput=degraded, time_to_recover=recovery))
+            degraded_throughput=degraded, time_to_recover=recovery,
+            recovery_time=matched.duration if matched else None))
     return tuple(reports)

@@ -64,6 +64,11 @@ class Message:
     sent_at: float = field(default=0.0)
     sequence: int = field(default=0)
     rel_seq: int | None = field(default=None)
+    #: Channel incarnation the frame belongs to.  A crashed node loses
+    #: its channel state; on rejoin both ends :meth:`ReliableEndpoint.reset`
+    #: to a new incarnation and frames (including acks) from the old one
+    #: are discarded rather than confused with the fresh sequence space.
+    rel_inc: int = field(default=0)
 
 
 class Link:
@@ -267,9 +272,11 @@ class ReliableEndpoint:
         self._unacked: dict[int, tuple[str, Any, Any]] = {}
         self._recv_delivered = -1
         self._holdback: dict[int, Message] = {}
+        self.incarnation = 0
         self.retransmits = 0
         self.duplicates_discarded = 0
         self.acks_sent = 0
+        self.stale_frames = 0
 
     # -- sending -------------------------------------------------------------
 
@@ -278,16 +285,19 @@ class ReliableEndpoint:
         seq = self._next_seq
         self._next_seq += 1
         message.rel_seq = seq
+        message.rel_inc = self.incarnation
         self._unacked[seq] = (message.kind, message.payload, message.source)
         self.out_link.send(message)
-        self.env.process(self._watch(seq),
+        self.env.process(self._watch(seq, self.incarnation),
                          name=f"{self.name}:retransmit-{seq}")
 
-    def _watch(self, seq: int):
+    def _watch(self, seq: int, incarnation: int):
         """Retransmission timer for one message (exponential backoff)."""
         delay = self.timeout
         while True:
             yield self.env.timeout(delay)
+            if incarnation != self.incarnation:
+                return
             entry = self._unacked.get(seq)
             if entry is None:
                 return
@@ -296,7 +306,7 @@ class ReliableEndpoint:
             # state (sequence, sent_at) on the envelope, so reusing the
             # original object would alias in-flight deliveries.
             resend = Message(kind=kind, payload=payload, source=source,
-                             rel_seq=seq)
+                             rel_seq=seq, rel_inc=incarnation)
             self.retransmits += 1
             if self.on_retransmit is not None:
                 self.on_retransmit(resend)
@@ -307,6 +317,33 @@ class ReliableEndpoint:
     def unacked(self) -> int:
         """Application messages sent but not yet acknowledged."""
         return len(self._unacked)
+
+    def abandon(self) -> None:
+        """Give up on every unacknowledged send (peer is gone for good).
+
+        Used at failover: once a site re-points at the standby it will
+        never talk to the dead primary again, so retransmitting to it
+        forever is pure noise.  Retransmission timers see the empty
+        table and exit at their next firing.
+        """
+        self._unacked.clear()
+
+    def reset(self, incarnation: int) -> None:
+        """Restart the channel in a new incarnation (crash recovery).
+
+        Drops all send *and* receive state: unacked messages of the old
+        incarnation are gone (application-level recovery decides what to
+        resend), the sequence spaces restart at zero, and frames still
+        in flight from the old incarnation -- including its acks, whose
+        cumulative sequence numbers would otherwise retire fresh sends
+        -- are discarded by :meth:`pump`.  Both ends of a channel must
+        be reset to the same incarnation together.
+        """
+        self.incarnation = incarnation
+        self._unacked.clear()
+        self._holdback.clear()
+        self._next_seq = 0
+        self._recv_delivered = -1
 
     # -- receiving -----------------------------------------------------------
 
@@ -319,15 +356,25 @@ class ReliableEndpoint:
         so the peer's retransmission timers converge.
         """
         if message.kind == ACK_KIND:
+            if message.rel_inc != self.incarnation:
+                self.stale_frames += 1
+                return []
             acked_through = message.payload
             for seq in [s for s in self._unacked if s <= acked_through]:
                 del self._unacked[seq]
             return []
         seq = message.rel_seq
         if seq is None:
-            # Not channel-framed (sent before reliability was enabled);
-            # pass through untouched.
+            # Not channel-framed (sent before reliability was enabled,
+            # or deliberately unreliable, e.g. heartbeats); pass through
+            # untouched.
             return [message]
+        if message.rel_inc != self.incarnation:
+            # A frame from a previous channel incarnation (pre-crash);
+            # its sequence numbers mean nothing now.  Drop without ack:
+            # the old incarnation's timers are already abandoned.
+            self.stale_frames += 1
+            return []
         deliverable: list[Message] = []
         if seq <= self._recv_delivered or seq in self._holdback:
             self.duplicates_discarded += 1
@@ -345,4 +392,5 @@ class ReliableEndpoint:
     def _send_ack(self) -> None:
         self.acks_sent += 1
         self.out_link.send(Message(kind=ACK_KIND,
-                                   payload=self._recv_delivered))
+                                   payload=self._recv_delivered,
+                                   rel_inc=self.incarnation))

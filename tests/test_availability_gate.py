@@ -1,0 +1,107 @@
+"""Availability-regression gate: CI fails if survivability erodes.
+
+A committed baseline (``tests/baselines/availability_baseline.json``)
+records the availability this codebase achieves under the canned
+``central-outage`` plan, with and without hot-standby failover.  Any
+change that costs more than the baseline's tolerance (5 availability
+points) trips the gate; improvements are free but should be baked into
+the baseline when intentional.
+
+The same scenario also backs the determinism contract: a failover run
+is bit-identical whether it executes in-process or through the
+parallel runner with ``--workers 2``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import STRATEGIES
+from repro.hybrid import HybridSystem, paper_config
+from repro.sim.faults import (
+    RetryPolicy,
+    failover_outage_plan,
+    standard_outage_plan,
+)
+
+BASELINE_PATH = (Path(__file__).parent / "baselines" /
+                 "availability_baseline.json")
+
+#: Matches the chaos-smoke quick retry policy: the gate runs the same
+#: short horizon, so its absolute numbers are comparable run to run.
+RETRY = RetryPolicy(message_timeout=0.5, backoff=2.0,
+                    max_message_timeout=2.0, shipment_timeout=1.0,
+                    shipment_attempts=2, snapshot_max_age=5.0)
+
+
+def _baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def _gate_config():
+    spec = _baseline()["config"]
+    return paper_config(total_rate=spec["total_rate"],
+                        warmup_time=spec["warmup_time"],
+                        measure_time=spec["measure_time"],
+                        seed=spec["seed"])
+
+
+def _run(plan):
+    config = _gate_config()
+    strategy = _baseline()["config"]["strategy"]
+    system = HybridSystem(config, STRATEGIES[strategy](config),
+                          fault_plan=plan)
+    return system.run()
+
+
+def _plans():
+    spec = _baseline()["config"]
+    outage = standard_outage_plan(warmup_time=spec["warmup_time"],
+                                  measure_time=spec["measure_time"],
+                                  retry=RETRY)
+    failover = failover_outage_plan(warmup_time=spec["warmup_time"],
+                                    measure_time=spec["measure_time"],
+                                    retry=RETRY)
+    return outage, failover
+
+
+def test_outage_availability_within_tolerance_of_baseline():
+    baseline = _baseline()
+    outage, _ = _plans()
+    result = _run(outage)
+    floor = (baseline["central-outage"]["availability"] -
+             baseline["tolerance"])
+    assert result.availability >= floor, (
+        f"availability under central-outage regressed to "
+        f"{result.availability:.4f} (baseline "
+        f"{baseline['central-outage']['availability']:.4f}, "
+        f"tolerance {baseline['tolerance']})")
+
+
+def test_failover_availability_within_tolerance_of_baseline():
+    baseline = _baseline()
+    outage, failover = _plans()
+    degraded = _run(outage)
+    result = _run(failover)
+    floor = (baseline["central-outage-failover"]["availability"] -
+             baseline["tolerance"])
+    assert result.availability >= floor, (
+        f"availability under failover regressed to "
+        f"{result.availability:.4f} (baseline "
+        f"{baseline['central-outage-failover']['availability']:.4f}, "
+        f"tolerance {baseline['tolerance']})")
+    # The survivability claim itself: failover must keep beating
+    # riding the outage out, not merely clear an absolute floor.
+    assert result.availability > degraded.availability
+    assert result.failover_takeovers == \
+        baseline["central-outage-failover"]["failover_takeovers"]
+
+
+def test_failover_run_is_deterministic_across_workers():
+    from repro.experiments.parallel import JobSpec, ParallelRunner
+
+    _, failover = _plans()
+    spec = JobSpec(strategy=_baseline()["config"]["strategy"],
+                   config=_gate_config(), fault_plan=failover)
+    (serial,) = ParallelRunner(workers=1).run_jobs([spec])
+    (parallel,) = ParallelRunner(workers=2).run_jobs([spec])
+    assert serial == parallel

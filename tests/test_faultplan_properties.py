@@ -1,0 +1,184 @@
+"""Property-based tests for the fault-plan layer (Hypothesis).
+
+Three laws the recovery subsystem leans on:
+
+* **JSON round-trip identity** -- ``FaultPlan.from_json(plan.to_json())``
+  is the identity, with and without a recovery policy.  The cache keys
+  and the CLI ``--fault-plan @file.json`` path both assume it.
+* **Overlap composition commutativity** -- the effective central/site
+  fault state is a pure function of the *set* of active episodes, not
+  of the order the injector happened to apply them in.
+* **Scale invariance of episode ordering** -- ``plan.scaled(f)``
+  stretches the schedule without reordering it, so a ``--scale`` run
+  exercises the same fault sequence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.faults import (
+    CENTRAL_OUTAGE,
+    CPU_SLOWDOWN,
+    LINK_DEGRADATION,
+    SITE_CRASH,
+    FaultEpisode,
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+    effective_central_state,
+    effective_site_state,
+)
+
+N_SITES = 4
+
+_times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                   allow_infinity=False)
+_durations = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False,
+                       allow_infinity=False)
+
+
+@st.composite
+def episodes(draw):
+    kind = draw(st.sampled_from((CENTRAL_OUTAGE, SITE_CRASH,
+                                 LINK_DEGRADATION, CPU_SLOWDOWN)))
+    site = draw(st.one_of(st.none(),
+                          st.integers(min_value=0,
+                                      max_value=N_SITES - 1)))
+    if kind == SITE_CRASH and site is None:
+        site = draw(st.integers(min_value=0, max_value=N_SITES - 1))
+    return FaultEpisode(
+        kind=kind,
+        start=draw(_times),
+        duration=draw(_durations),
+        site=site,
+        drop_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        jitter=draw(st.floats(min_value=0.0, max_value=2.0)),
+        delay_factor=draw(st.floats(min_value=0.1, max_value=10.0)),
+        slowdown=draw(st.floats(min_value=0.1, max_value=10.0)),
+    )
+
+
+@st.composite
+def recovery_policies(draw):
+    heartbeat = draw(st.floats(min_value=0.05, max_value=5.0))
+    return RecoveryPolicy(
+        failover=draw(st.booleans()),
+        heartbeat_interval=heartbeat,
+        lease_timeout=heartbeat * draw(
+            st.floats(min_value=1.5, max_value=10.0)),
+        rejoin=draw(st.booleans()),
+        admission_limit=draw(st.integers(min_value=0, max_value=512)),
+        deadline=draw(st.floats(min_value=0.0, max_value=100.0)),
+        breaker_threshold=draw(st.integers(min_value=0, max_value=10)),
+        breaker_cooldown=draw(st.floats(min_value=0.1, max_value=60.0)),
+        breaker_probe=draw(st.floats(min_value=0.01, max_value=1.0)),
+    )
+
+
+@st.composite
+def plans(draw):
+    plan = FaultPlan(
+        episodes=tuple(draw(st.lists(episodes(), max_size=6))),
+        retry=RetryPolicy(),
+    )
+    if draw(st.booleans()):
+        plan = plan.with_recovery(draw(recovery_policies()))
+    return plan
+
+
+# -- JSON round-trip identity ----------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(plans())
+def test_json_round_trip_is_identity(plan):
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+@settings(max_examples=50, deadline=None)
+@given(plans())
+def test_as_dict_from_dict_round_trip(plan):
+    assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+
+@settings(max_examples=50, deadline=None)
+@given(plans())
+def test_recovery_block_only_when_customised(plan):
+    # Plans with a default recovery policy render exactly as they did
+    # before the recovery subsystem existed (no "recovery" key at all).
+    data = plan.as_dict()
+    assert ("recovery" in data) == (plan.recovery != RecoveryPolicy())
+
+
+# -- overlap composition commutativity --------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(episodes(), max_size=6), st.randoms(use_true_random=False))
+def test_central_state_is_order_independent(active, rng):
+    shuffled = list(active)
+    rng.shuffle(shuffled)
+    assert effective_central_state(shuffled) == \
+        effective_central_state(active)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(episodes(), max_size=6),
+       st.integers(min_value=0, max_value=N_SITES - 1),
+       st.randoms(use_true_random=False))
+def test_site_state_is_order_independent(active, site_id, rng):
+    shuffled = list(active)
+    rng.shuffle(shuffled)
+    assert effective_site_state(shuffled, site_id) == \
+        effective_site_state(active, site_id)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(episodes(), max_size=6),
+       st.integers(min_value=0, max_value=N_SITES - 1))
+def test_site_state_honours_precomputed_central_down(active, site_id):
+    central_down, _slow = effective_central_state(active)
+    assert effective_site_state(active, site_id, central_down) == \
+        effective_site_state(active, site_id)
+
+
+# -- scale invariance of episode ordering -----------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(plans(), st.floats(min_value=0.01, max_value=100.0,
+                          allow_nan=False, allow_infinity=False))
+def test_scaled_preserves_episode_ordering(plan, factor):
+    scaled = plan.scaled(factor)
+    assert len(scaled.episodes) == len(plan.episodes)
+    starts = [ep.start for ep in plan.episodes]
+    scaled_starts = [ep.start for ep in scaled.episodes]
+    # The relative order of any two boundaries is preserved.
+    for i in range(len(starts)):
+        for j in range(len(starts)):
+            if starts[i] < starts[j]:
+                assert scaled_starts[i] <= scaled_starts[j]
+            ends = plan.episodes[i].end, plan.episodes[j].end
+            scaled_ends = (scaled.episodes[i].end,
+                           scaled.episodes[j].end)
+            if ends[0] < ends[1]:
+                assert scaled_ends[0] <= scaled_ends[1] or \
+                    math.isclose(scaled_ends[0], scaled_ends[1],
+                                 rel_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(plans())
+def test_scaled_by_one_is_identity(plan):
+    assert plan.scaled(1.0) == plan
+
+
+@settings(max_examples=50, deadline=None)
+@given(plans())
+def test_scaled_leaves_policies_alone(plan):
+    scaled = plan.scaled(2.0)
+    assert scaled.retry == plan.retry
+    assert scaled.recovery == plan.recovery
