@@ -17,6 +17,15 @@ from .residual import (
     triangular_residual_mean,
     uniform_residual_mean,
 )
+from .variance import (
+    AnalyticCovariate,
+    PairedPointDelta,
+    make_analytic_covariate,
+    paired_curve_difference,
+    point_covariates,
+    result_covariates,
+    results_have_faults,
+)
 
 __all__ = [
     "CapacityBound",
@@ -35,4 +44,11 @@ __all__ = [
     "probability_local_outlives",
     "triangular_residual_mean",
     "uniform_residual_mean",
+    "AnalyticCovariate",
+    "PairedPointDelta",
+    "make_analytic_covariate",
+    "paired_curve_difference",
+    "point_covariates",
+    "result_covariates",
+    "results_have_faults",
 ]

@@ -18,18 +18,26 @@ Rounds are batched across *all* unconverged points of the whole curve
 set, so a process pool stays saturated while converged points drop out
 (the runner is held in incremental mode -- one pool across rounds).
 
+With ``settings.control_variates`` the convergence test in step 2 uses
+the regression-adjusted interval
+(:meth:`~repro.sim.stats.ReplicationSummary.adjusted_interval`), so
+variance the control variates explain away converts directly into
+replications never scheduled.
+
 Determinism
 -----------
 
-Replication ``r`` of a point always uses ``base_seed + r``, exactly as
-in the fixed grid, and the scheduling decisions depend only on the
-(deterministic) simulation outputs -- so adaptive runs are
-bit-reproducible, an adaptive run capped at ``n`` that never converges
-reproduces the fixed ``replications=n`` grid field-for-field, and every
-replication keeps its individual cache identity: replications simulated
-by earlier fixed-grid runs are *fast-forwarded* from the cache (counted,
-not re-simulated), and entries written by an adaptive run are byte-equal
-to the fixed grid's.
+Replication ``r`` of a point always uses
+:meth:`~repro.experiments.runner.RunSettings.replication_seed` --
+``base_seed + r`` by default, the rate-keyed CRN hash under
+``settings.crn`` -- exactly as in the fixed grid, and the scheduling
+decisions depend only on the (deterministic) simulation outputs -- so
+adaptive runs are bit-reproducible, an adaptive run capped at ``n``
+that never converges reproduces the fixed ``replications=n`` grid
+field-for-field, and every replication keeps its individual cache
+identity: replications simulated by earlier fixed-grid runs are
+*fast-forwarded* from the cache (counted, not re-simulated), and
+entries written by an adaptive run are byte-equal to the fixed grid's.
 """
 
 from __future__ import annotations
@@ -38,7 +46,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..hybrid.metrics import SimulationResult
-from ..sim.stats import IntervalEstimate, ReplicationSummary
+from ..sim.stats import (
+    ControlVariateEstimate,
+    IntervalEstimate,
+    ReplicationSummary,
+)
 from .cache import ResultCache
 from .parallel import JobSpec, ParallelRunner
 from .runner import (
@@ -47,6 +59,7 @@ from .runner import (
     StrategyBuilder,
     _assemble_point,
     _check_strategy,
+    _point_analytic,
     _replication_spec,
 )
 
@@ -65,14 +78,29 @@ class _PointTask:
     """Mutable per-point bookkeeping while the scheduler runs."""
 
     spec_for: Callable[[int], JobSpec]
+    control_variates: bool = False
+    analytic: object = None
     results: list[SimulationResult] = field(default_factory=list)
     converged: bool = False
 
-    def interval(self, confidence: float) -> IntervalEstimate:
+    def estimate(self, confidence: float) -> ControlVariateEstimate:
+        """The point's current estimate; the adjusted interval when
+        control variates are on (falling back to plain when the
+        adjustment is unsafe or not tighter), the plain t-interval
+        otherwise."""
+        rows = None
+        if self.control_variates:
+            from ..analysis.variance import point_covariates
+            rows = point_covariates(self.results, analytic=self.analytic)
         summary = ReplicationSummary()
-        for result in self.results:
-            summary.add_replication(result.mean_response_time)
-        return summary.interval(confidence)
+        for index, result in enumerate(self.results):
+            summary.add_replication(
+                result.mean_response_time,
+                covariates=rows[index] if rows is not None else None)
+        return summary.adjusted_interval(confidence)
+
+    def interval(self, confidence: float) -> IntervalEstimate:
+        return self.estimate(confidence).interval
 
 
 @dataclass(frozen=True)
@@ -82,6 +110,9 @@ class ScheduledPoint:
     results: tuple[SimulationResult, ...]
     interval: IntervalEstimate
     converged: bool
+    #: Control-variate variance-reduction ratio (1.0 when the
+    #: adjustment was off, unsafe, or not tighter than plain).
+    variance_reduction: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -94,6 +125,9 @@ class PointPrecision:
     half_width: float
     relative_half_width: float
     converged: bool
+    #: Control-variate variance-reduction ratio behind the half-widths
+    #: (1.0 when the adjustment was off or rejected).
+    variance_reduction: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -128,15 +162,27 @@ class AdaptiveReport:
     def all_converged(self) -> bool:
         return all(point.converged for point in self.points)
 
+    @property
+    def unconverged_points(self) -> tuple[PointPrecision, ...]:
+        """Points still over the precision target at the cap."""
+        return tuple(p for p in self.points if not p.converged)
+
     def summary(self) -> str:
-        """One-line account for CLI output."""
+        """One-line account for CLI output; names unconverged points."""
         met = sum(1 for point in self.points if point.converged)
-        return (f"adaptive: {self.replications_total} replication(s) over "
+        line = (f"adaptive: {self.replications_total} replication(s) over "
                 f"{self.n_points} point(s) in {self.rounds} round(s) "
                 f"[fixed grid: {self.fixed_grid_replications}; saved "
                 f"{self.replications_saved}; cache fast-forward "
                 f"{self.replications_cached}]; {met}/{self.n_points} "
                 f"point(s) within +/-{self.rel_precision:.1%}")
+        missed = self.unconverged_points
+        if missed:
+            listing = ", ".join(
+                f"{p.label}@{p.total_rate:g} "
+                f"(+/-{p.relative_half_width:.1%})" for p in missed)
+            line += f"; unconverged at cap: {listing}"
+        return line
 
 
 @dataclass(frozen=True)
@@ -150,16 +196,26 @@ class AdaptiveCurveSet:
 def schedule_adaptive(spec_factories: Sequence[Callable[[int], JobSpec]],
                       settings: PrecisionSettings,
                       runner: ParallelRunner,
+                      analytics: Sequence | None = None,
                       ) -> tuple[list[ScheduledPoint], int]:
     """Run the adaptive scheduling loop over abstract points.
 
     ``spec_factories[i]`` maps a replication index ``r`` to the
     :class:`JobSpec` of point ``i``'s replication ``r`` -- the curve-set
     and sensitivity harnesses supply different factories but share this
-    loop.  Returns the per-point outcomes (in input order) and the
-    number of rounds submitted.
+    loop.  With ``settings.control_variates`` the convergence test uses
+    the regression-adjusted interval; ``analytics[i]`` optionally
+    supplies point ``i``'s external
+    :class:`~repro.analysis.variance.AnalyticCovariate`.  Returns the
+    per-point outcomes (in input order) and the number of rounds
+    submitted.
     """
-    tasks = [_PointTask(spec_for=factory) for factory in spec_factories]
+    if analytics is None:
+        analytics = [None] * len(spec_factories)
+    tasks = [_PointTask(spec_for=factory,
+                        control_variates=settings.control_variates,
+                        analytic=analytic)
+             for factory, analytic in zip(spec_factories, analytics)]
     rounds = 0
     with runner:
         while True:
@@ -190,12 +246,14 @@ def schedule_adaptive(spec_factories: Sequence[Callable[[int], JobSpec]],
                 estimate = task.interval(settings.confidence)
                 if estimate.relative_half_width <= settings.rel_precision:
                     task.converged = True
-    outcomes = [
-        ScheduledPoint(results=tuple(task.results),
-                       interval=task.interval(settings.confidence),
-                       converged=task.converged)
-        for task in tasks
-    ]
+    outcomes = []
+    for task in tasks:
+        estimate = task.estimate(settings.confidence)
+        outcomes.append(ScheduledPoint(
+            results=tuple(task.results),
+            interval=estimate.interval,
+            converged=task.converged,
+            variance_reduction=estimate.variance_reduction))
     return outcomes, rounds
 
 
@@ -230,16 +288,32 @@ def run_adaptive_curve_set(
                                      fault_plan=fault_plan)
         return make
 
+    # Strategy-free, so one build serves every curve at that rate; the
+    # fault guard in point_covariates disables CV under fault activity,
+    # but the analytic build itself is also skipped then (expectations
+    # would not hold).
+    analytic_by_rate: dict[float, object] = {}
+    if settings.control_variates and (
+            fault_plan is None or fault_plan.is_empty):
+        for _, _, rates in entries:
+            for rate in rates:
+                if rate not in analytic_by_rate:
+                    analytic_by_rate[rate] = _point_analytic(
+                        settings, rate, comm_delay, config_overrides)
+
     factories: list[Callable[[int], JobSpec]] = []
+    analytics: list[object] = []
     layout: list[tuple[str, list[float]]] = []
     for strategy, label, rates in entries:
         _check_strategy(strategy)
         for rate in rates:
             factories.append(spec_factory(strategy, rate))
+            analytics.append(analytic_by_rate.get(rate))
         layout.append((label, list(rates)))
 
     runner = ParallelRunner(workers=workers, cache=cache)
-    outcomes, rounds = schedule_adaptive(factories, settings, runner)
+    outcomes, rounds = schedule_adaptive(factories, settings, runner,
+                                         analytics=analytics)
 
     curves: list[Curve] = []
     precisions: list[PointPrecision] = []
@@ -249,14 +323,17 @@ def run_adaptive_curve_set(
         for rate in rates:
             outcome = outcomes[cursor]
             cursor += 1
-            points.append(_assemble_point(rate, outcome.results,
-                                          confidence=settings.confidence))
+            points.append(_assemble_point(
+                rate, outcome.results, confidence=settings.confidence,
+                control_variates=settings.control_variates,
+                analytic=analytic_by_rate.get(rate)))
             precisions.append(PointPrecision(
                 label=label, total_rate=rate,
                 n_replications=len(outcome.results),
                 half_width=outcome.interval.half_width,
                 relative_half_width=outcome.interval.relative_half_width,
-                converged=outcome.converged))
+                converged=outcome.converged,
+                variance_reduction=outcome.variance_reduction))
         curves.append(Curve(label=label, comm_delay=comm_delay,
                             points=tuple(points)))
 

@@ -52,7 +52,10 @@ __all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
 #: 2: SimulationResult gained the ``metrics`` registry-snapshot field.
 #: 3: stream-name key derivation fixed (full-digest spawn keys) -- every
 #:    sample path shifted, so pre-fix results are not comparable.
-CACHE_VERSION = 3
+#: 4: SimulationResult gained the control-variate ``covariates`` /
+#:    ``covariate_means`` fields; pre-bump pickles lack them and would
+#:    raise on attribute access.
+CACHE_VERSION = 4
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "HYBRIDDB_CACHE_DIR"

@@ -6,6 +6,7 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --figure 4.2 --workers 4
     hybriddb-experiment --figure 4.4 --scale 0.5 --replications 2
     hybriddb-experiment --figure 4.2 --precision 0.05 --max-replications 16
+    hybriddb-experiment --figure 4.2 --precision 0.1 --crn --control-variates
     hybriddb-experiment --figure all --scale 0.3 --workers 0
     hybriddb-experiment --figure 4.3 --csv fig43.csv
     hybriddb-experiment --figure 4.1 --no-cache
@@ -134,9 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "half-width of the mean response time is "
                              "within REL of the mean (e.g. 0.05), or "
                              "--max-replications is reached")
-    parser.add_argument("--max-replications", type=int, default=16,
+    parser.add_argument("--max-replications", type=int, default=24,
                         help="replication cap per point in adaptive mode "
-                             "(default 16; ignored without --precision)")
+                             "(default 24; ignored without --precision)")
+    parser.add_argument("--crn", action="store_true",
+                        help="common random numbers: derive replication "
+                             "seeds from (seed, rate, replication) so "
+                             "every strategy at one rate shares sample "
+                             "paths (sharpens strategy comparisons; "
+                             "changes seeds and cache keys vs the "
+                             "default seed+r scheme)")
+    parser.add_argument("--control-variates", action="store_true",
+                        help="regression-adjust each point's mean "
+                             "response time with known-expectation "
+                             "covariates (arrival counts, analytic-model "
+                             "prediction); tightens confidence intervals "
+                             "and, with --precision, cuts replications")
     parser.add_argument("--seed", type=int, default=7_001,
                         help="base random seed")
     parser.add_argument("--workers", type=int, default=1,
@@ -168,8 +182,9 @@ def _run_figure(figure_id: str, settings: RunSettings,
         print(f"\n[data written to {target}]")
     print("\n" + execution_summary(elapsed, workers=workers, cache=cache))
     if isinstance(settings, PrecisionSettings):
-        points = [point for curve in figure.curves
-                  for point in curve.points]
+        labelled = [(curve.label, point) for curve in figure.curves
+                    for point in curve.points]
+        points = [point for _, point in labelled]
         total = sum(point.n_replications for point in points)
         grid = len(points) * settings.max_replications
         met = sum(1 for point in points
@@ -179,6 +194,23 @@ def _run_figure(figure_id: str, settings: RunSettings,
               f"{met}/{len(points)} point(s) within "
               f"+/-{settings.rel_precision:.1%} at "
               f"{settings.confidence:.0%} confidence]")
+        missed = [(label, point) for label, point in labelled
+                  if point.rt_relative_half_width > settings.rel_precision]
+        if missed:
+            listing = ", ".join(
+                f"{label}@{point.total_rate:g} "
+                f"(+/-{point.rt_relative_half_width:.1%})"
+                for label, point in missed)
+            print(f"[unconverged at cap {settings.max_replications}: "
+                  f"{listing}]")
+        ratios = [point.variance_reduction for point in points
+                  if point.variance_reduction is not None
+                  and point.variance_reduction > 1.0]
+        if ratios:
+            mean_vrr = sum(ratios) / len(ratios)
+            print(f"[control variates: adjustment used on {len(ratios)}/"
+                  f"{len(points)} point(s), mean variance-reduction "
+                  f"{mean_vrr:.1f}x]")
 
 
 def _resolve_plan(args, settings: RunSettings):
@@ -332,10 +364,13 @@ def main(argv: list[str] | None = None) -> int:
             base_seed=args.seed, scale=args.scale,
             rel_precision=args.precision,
             min_replications=min_replications,
-            max_replications=args.max_replications)
+            max_replications=args.max_replications,
+            crn=args.crn, control_variates=args.control_variates)
     else:
         settings = RunSettings(replications=args.replications,
-                               base_seed=args.seed, scale=args.scale)
+                               base_seed=args.seed, scale=args.scale,
+                               crn=args.crn,
+                               control_variates=args.control_variates)
     workers = args.workers  # 0 -> auto-detect inside ParallelRunner
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if (args.telemetry or args.trace_out or args.metrics_out or

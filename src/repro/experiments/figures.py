@@ -98,6 +98,23 @@ class FigureData:
                 return curve
         raise KeyError(f"no curve labelled {label!r} in {self.figure_id}")
 
+    def compare_curves(self, label_a: str, label_b: str,
+                       confidence: float = 0.95):
+        """Paired strategy-vs-strategy deltas, rate by rate.
+
+        Returns the :class:`~repro.analysis.variance.PairedPointDelta`
+        tuple for ``curve(label_a) - curve(label_b)``.  Pairing is by
+        replication index, so when the figure ran under
+        ``RunSettings.crn`` the deltas are common-random-numbers
+        estimates (each delta records whether its pairs were actually
+        seed-identical); without CRN the paired interval is still
+        valid, just no tighter than an independent-streams one.
+        """
+        from ..analysis.variance import paired_curve_difference
+        return paired_curve_difference(self.curve(label_a),
+                                       self.curve(label_b),
+                                       confidence=confidence)
+
 
 def _rt_figure(figure_id: str, title: str, strategies: list[tuple],
                comm_delay: float, settings: RunSettings,

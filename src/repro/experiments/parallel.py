@@ -8,8 +8,10 @@ while keeping the results **bit-identical** to serial execution:
 
 * each job is a self-contained, picklable :class:`JobSpec` carrying the
   fully resolved :class:`~repro.hybrid.config.SystemConfig` (seed
-  included, so common random numbers are preserved -- replication ``r``
-  still uses ``base_seed + r`` no matter which worker runs it);
+  included, so the seeding discipline -- ``base_seed + r`` by default,
+  the rate-keyed common-random-numbers hash under ``RunSettings.crn``
+  -- is preserved no matter which worker runs the job, and the
+  control-variate fields ride on the result under cache version 4);
 * results are reassembled in submission order, so averaging and curve
   construction see exactly the sequence the serial loop produced;
 * the two wall-clock profiling fields of a result
@@ -127,7 +129,10 @@ class ParallelRunner:
     ----------
     workers:
         Process count.  ``1`` (default) runs serially in-process;
-        ``None`` or ``0`` auto-detects one worker per CPU.
+        ``None`` or ``0`` auto-detects one worker per CPU.  On a
+        single-CPU host any request collapses to serial execution --
+        pool workers would only time-slice one core while paying fork
+        and pickling overhead for bit-identical results.
     cache:
         Optional :class:`ResultCache`; hits skip simulation entirely.
     """
@@ -138,6 +143,8 @@ class ParallelRunner:
             workers = default_workers()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and (os.cpu_count() or 1) == 1:
+            workers = 1
         self.workers = workers
         self.cache = cache
         #: Jobs satisfied from the cache / simulated, over this runner's

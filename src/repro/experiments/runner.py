@@ -2,9 +2,14 @@
 
 A *curve* is one strategy evaluated over a sweep of total arrival rates
 (the x-axis of every figure in the paper).  Each point runs the
-discrete-event simulation once per replication (common random numbers
-across strategies: replication ``r`` always uses ``base_seed + r``) and
-averages the replications.
+discrete-event simulation once per replication and averages the
+replications.  By default replication ``r`` uses ``base_seed + r`` --
+deterministic, but the *same* sample path recurs at every rate.  With
+``RunSettings.crn`` the seed becomes
+:func:`repro.sim.rng.crn_seed`\\ ``(base_seed, rate_key, r)``: still
+strategy-free (every strategy at one rate shares sample paths, the
+common-random-numbers pairing that sharpens strategy comparisons) but
+decorrelated across rates and replications.
 
 ``RunSettings.scale`` shortens or lengthens the simulated horizon
 uniformly, so the same experiment definitions serve quick smoke tests
@@ -16,9 +21,20 @@ uniformly, so the same experiment definitions serve quick smoke tests
 (figures, curves, points, the sensitivity sweep, the CLI), it switches
 the run into adaptive mode -- replications are scheduled in rounds by
 :mod:`repro.experiments.adaptive` until every point's t-based relative
-confidence half-width reaches the target or a cap.  Replication ``r``
-still always uses ``base_seed + r``, so adaptive runs stay deterministic
-and every replication remains individually cacheable.
+confidence half-width reaches the target or a cap.  Seeding is the same
+deterministic function of ``(base_seed, rate, r)`` in fixed and
+adaptive mode alike, so adaptive runs stay bit-reproducible and every
+replication remains individually cacheable.
+
+``RunSettings.control_variates`` switches point assembly to the
+jackknifed control-variate estimator
+(:meth:`repro.sim.stats.ReplicationSummary.adjusted_interval`): the
+known-expectation covariates each replication emits (plus the analytic
+model's prediction, see :mod:`repro.analysis.variance`) regress away
+sampling noise, shrinking the confidence interval -- and, in adaptive
+mode, the replication count needed to reach the precision target.
+Both flags default off; the default path is bit-identical to earlier
+releases.
 """
 
 from __future__ import annotations
@@ -31,6 +47,7 @@ from ..core import STRATEGIES
 from ..hybrid.config import SystemConfig, paper_config
 from ..hybrid.metrics import SimulationResult
 from ..hybrid.system import HybridSystem
+from ..sim.rng import crn_seed
 from ..sim.stats import IntervalEstimate, ReplicationSummary
 from .cache import ResultCache
 from .parallel import JobSpec, ParallelRunner
@@ -46,13 +63,23 @@ StrategyBuilder = Callable[[SystemConfig], object]
 
 @dataclass(frozen=True)
 class RunSettings:
-    """Horizon and replication control for experiment runs."""
+    """Horizon and replication control for experiment runs.
+
+    ``crn`` derives replication seeds with :func:`repro.sim.rng.crn_seed`
+    (strategy-free, rate-keyed: strategies share sample paths, rates and
+    replications do not); ``control_variates`` switches point assembly
+    to the regression-adjusted estimator.  Both default off, preserving
+    the historical ``base_seed + r`` seeds, point estimates and cache
+    keys bit-for-bit.
+    """
 
     warmup_time: float = 30.0
     measure_time: float = 90.0
     replications: int = 1
     base_seed: int = 7_001
     scale: float = 1.0
+    crn: bool = False
+    control_variates: bool = False
 
     def __post_init__(self) -> None:
         if self.replications < 1:
@@ -70,6 +97,21 @@ class RunSettings:
             measure_time=self.measure_time * self.scale,
             **overrides,
         )
+
+    def replication_seed(self, total_rate: float, replication: int) -> int:
+        """The simulation seed for replication ``r`` of a rate point.
+
+        Default mode keeps the historical ``base_seed + r`` (identical
+        sample paths at every rate); with ``crn`` the seed is hashed
+        from ``(base_seed, rate, r)`` -- deliberately *not* from the
+        strategy or the communication delay, so strategy comparisons at
+        one rate run on common random numbers while rates and
+        replications draw independent paths.
+        """
+        if self.crn:
+            return crn_seed(self.base_seed, f"rate={total_rate!r}",
+                            replication)
+        return self.base_seed + replication
 
     def scaled(self, factor: float) -> "RunSettings":
         return replace(self, scale=self.scale * factor)
@@ -89,14 +131,17 @@ class PrecisionSettings(RunSettings):
     field-for-field.
 
     The inherited ``replications`` field is ignored in adaptive mode
-    (the scheduler owns the count); the seeds are unchanged --
-    replication ``r`` of a point always uses ``base_seed + r``.
+    (the scheduler owns the count); seeding is unchanged -- replication
+    ``r`` of a point uses :meth:`RunSettings.replication_seed` exactly
+    as the fixed grid does.  With ``control_variates`` the *adjusted*
+    interval drives the stopping rule, so variance removed by the
+    regression directly becomes replications not run.
     """
 
     rel_precision: float = 0.05
     confidence: float = 0.95
     min_replications: int = 2
-    max_replications: int = 16
+    max_replications: int = 24
     round_size: int = 2
 
     def __post_init__(self) -> None:
@@ -125,7 +170,8 @@ class PrecisionSettings(RunSettings):
         return RunSettings(
             warmup_time=self.warmup_time, measure_time=self.measure_time,
             replications=self.max_replications, base_seed=self.base_seed,
-            scale=self.scale)
+            scale=self.scale, crn=self.crn,
+            control_variates=self.control_variates)
 
 
 @dataclass(frozen=True)
@@ -135,6 +181,11 @@ class CurvePoint:
     ``rt_interval`` is the cross-replication confidence interval of the
     mean response time, computed **once** during point assembly so the
     report/export layers can query the achieved precision freely.
+
+    ``variance_reduction`` is the control-variate variance-reduction
+    ratio ``(plain half-width / adjusted half-width)**2`` when the point
+    was assembled with ``control_variates`` (1.0 when the adjustment was
+    rejected as not strictly tighter), ``None`` on plain points.
     """
 
     total_rate: float
@@ -147,6 +198,7 @@ class CurvePoint:
     replications: tuple[SimulationResult, ...] = field(repr=False,
                                                        default=())
     rt_interval: IntervalEstimate | None = field(repr=False, default=None)
+    variance_reduction: float | None = field(repr=False, default=None)
 
     @property
     def n_replications(self) -> int:
@@ -240,12 +292,15 @@ def _replication_spec(strategy: str | StrategyBuilder, total_rate: float,
                       comm_delay: float, settings: RunSettings,
                       config_overrides: dict, replication: int,
                       fault_plan=None) -> JobSpec:
-    """The job for one replication; replication ``r`` seeds
-    ``base_seed + r`` (common random numbers, fixed and adaptive alike).
+    """The job for one replication, seeded by
+    :meth:`RunSettings.replication_seed` (``base_seed + r`` by default,
+    rate-keyed CRN hashing under ``settings.crn``), fixed and adaptive
+    alike.
     """
     return JobSpec(strategy=strategy, config=settings.config_for(
         total_rate, comm_delay,
-        seed=settings.base_seed + replication, **config_overrides),
+        seed=settings.replication_seed(total_rate, replication),
+        **config_overrides),
         fault_plan=fault_plan)
 
 
@@ -264,21 +319,45 @@ def _point_specs(strategy: str | StrategyBuilder, total_rate: float,
 
 def _assemble_point(total_rate: float,
                     results: Sequence[SimulationResult],
-                    confidence: float = 0.95) -> CurvePoint:
+                    confidence: float = 0.95,
+                    control_variates: bool = False,
+                    analytic=None) -> CurvePoint:
     """Average one rate's replications into a curve point.
 
     The cross-replication interval is computed here, once, and stored on
     the point (``rt_interval``) so downstream report/export code never
     rebuilds the accumulator.
+
+    With ``control_variates`` the replications' known-expectation
+    covariates (optionally joined by ``analytic``, an
+    :class:`~repro.analysis.variance.AnalyticCovariate`) feed the
+    jackknifed regression adjustment: when it yields a strictly tighter
+    interval, the adjusted mean and interval replace the plain ones and
+    the point records the variance-reduction ratio; otherwise the plain
+    estimator stands (``variance_reduction`` 1.0).
     """
     results = list(results)
+    rows = None
+    if control_variates:
+        from ..analysis.variance import point_covariates
+        rows = point_covariates(results, analytic=analytic)
     summary = ReplicationSummary()
-    for result in results:
-        summary.add_replication(result.mean_response_time)
+    for index, result in enumerate(results):
+        summary.add_replication(
+            result.mean_response_time,
+            covariates=rows[index] if rows is not None else None)
+    mean_rt = _average([r.mean_response_time for r in results])
+    interval = summary.interval(confidence)
+    variance_reduction = None
+    if control_variates:
+        adjusted = summary.adjusted_interval(confidence)
+        interval = adjusted.interval
+        if adjusted.used:
+            mean_rt = adjusted.interval.mean
+        variance_reduction = adjusted.variance_reduction
     return CurvePoint(
         total_rate=total_rate,
-        mean_response_time=_average(
-            [r.mean_response_time for r in results]),
+        mean_response_time=mean_rt,
         throughput=_average([r.throughput for r in results]),
         shipped_fraction=_average([r.shipped_fraction for r in results]),
         abort_rate=_average([r.abort_rate for r in results]),
@@ -287,8 +366,25 @@ def _assemble_point(total_rate: float,
         central_utilization=_average(
             [r.mean_central_utilization for r in results]),
         replications=tuple(results),
-        rt_interval=summary.interval(confidence),
+        rt_interval=interval,
+        variance_reduction=variance_reduction,
     )
+
+
+def _point_analytic(settings: RunSettings, total_rate: float,
+                    comm_delay: float, config_overrides: dict):
+    """The analytic covariate for one point (``None`` when CV is off,
+    the model saturates at this load, or the optimiser cannot run on
+    this configuration)."""
+    if not settings.control_variates:
+        return None
+    from ..analysis.variance import make_analytic_covariate
+    try:
+        return make_analytic_covariate(
+            settings.config_for(total_rate, comm_delay,
+                                **config_overrides))
+    except (ValueError, ZeroDivisionError):
+        return None
 
 
 def run_point(strategy: str | StrategyBuilder, total_rate: float,
@@ -321,7 +417,11 @@ def run_point(strategy: str | StrategyBuilder, total_rate: float,
     runner = ParallelRunner(workers=workers, cache=cache)
     specs = _point_specs(strategy, total_rate, comm_delay, settings,
                          config_overrides, fault_plan=fault_plan)
-    return _assemble_point(total_rate, runner.run_jobs(specs))
+    return _assemble_point(
+        total_rate, runner.run_jobs(specs),
+        control_variates=settings.control_variates,
+        analytic=_point_analytic(settings, total_rate, comm_delay,
+                                 config_overrides))
 
 
 def run_single(strategy: str | StrategyBuilder, total_rate: float,
@@ -422,13 +522,25 @@ def run_curve_set(entries: Sequence[tuple[str | StrategyBuilder, str,
 
     results = ParallelRunner(workers=workers, cache=cache).run_jobs(specs)
 
+    # The analytic covariate is strategy-free, so one build serves every
+    # curve of the set at that rate.
+    analytic_by_rate: dict[float, object] = {}
+    if settings.control_variates:
+        for _, _, rates in entries:
+            for rate in rates:
+                if rate not in analytic_by_rate:
+                    analytic_by_rate[rate] = _point_analytic(
+                        settings, rate, comm_delay, config_overrides)
+
     curves: list[Curve] = []
     cursor = 0
     for strategy, label, rates, counts in layout:
         points = []
         for rate, count in zip(rates, counts):
             points.append(_assemble_point(
-                rate, results[cursor:cursor + count]))
+                rate, results[cursor:cursor + count],
+                control_variates=settings.control_variates,
+                analytic=analytic_by_rate.get(rate)))
             cursor += count
         curves.append(Curve(label=label, comm_delay=comm_delay,
                             points=tuple(points)))

@@ -173,6 +173,19 @@ class SimulationResult:
     #: filtered alongside them by ``identity_dict(include_profile=False)``.
     metrics: dict[str, float] = field(default_factory=dict)
 
+    # -- control-variate extensions (defaulted for compatibility) ----------
+
+    #: Covariate observations with analytically known expectations,
+    #: emitted on every run (pure counter bookkeeping -- no extra RNG
+    #: draws, no trace events, so sample paths and golden traces are
+    #: untouched).  Keys: ``arrivals_a`` / ``arrivals_b`` (measured
+    #: thinned-Poisson arrival counts) and ``demand_seconds`` (summed
+    #: local service demand).  See :mod:`repro.analysis.variance`.
+    covariates: dict[str, float] = field(default_factory=dict)
+    #: The matching analytic expectations (``p_local * rate * T`` etc.),
+    #: computed from the configuration alone.
+    covariate_means: dict[str, float] = field(default_factory=dict)
+
     @property
     def shipped_fraction(self) -> float:
         """Fraction of measured class A arrivals routed to the central site."""
@@ -830,7 +843,10 @@ class MetricsCollector:
                engine_events_per_sec: float = 0.0,
                engine_heap_peak: int = 0,
                wall_clock_seconds: float = 0.0,
-               fault_episodes: tuple = ()) -> SimulationResult:
+               fault_episodes: tuple = (),
+               covariates: dict[str, float] | None = None,
+               covariate_means: dict[str, float] | None = None,
+               ) -> SimulationResult:
         """Produce the immutable result for this run."""
         measured_time = max(self.env.now - self.warmup_time, 1e-12)
         mean_local_util = (sum(local_utilizations) /
@@ -921,4 +937,6 @@ class MetricsCollector:
             mttr=mttr,
             mtbf=mtbf,
             metrics=self.registry.snapshot(),
+            covariates=dict(covariates or {}),
+            covariate_means=dict(covariate_means or {}),
         )

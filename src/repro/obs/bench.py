@@ -1,8 +1,10 @@
 """Performance-regression gate: snapshot, compare, fail on slowdown.
 
-``hybriddb-bench`` pins the two wall-clock quantities this codebase
-cares about -- kernel dispatch rate (events/sec) and figure wall-clock
--- into JSON records sharing the ``BENCH_*.json`` schema (flat records
+``hybriddb-bench`` pins the quantities this codebase cares about --
+kernel dispatch rate (events/sec), figure wall-clock, and the
+(simulation-deterministic) replications-to-converge of the
+variance-reduction machinery -- into JSON records sharing the
+``BENCH_*.json`` schema (flat records
 with a ``benchmark`` key, parameters, measurements and a
 ``recorded_at`` stamp), then compares runs against a committed baseline
 with tolerance bands::
@@ -46,6 +48,7 @@ DEFAULT_TOLERANCE = 0.30
 METRIC_DIRECTIONS = {
     "events_per_sec": "higher",
     "seconds": "lower",
+    "replications": "lower",
 }
 
 
@@ -72,6 +75,12 @@ BENCHMARKS: dict[str, BenchmarkDef] = {
         name="figure_4_1", metric="seconds",
         description="wall-clock of the Figure 4.1 sweep (serial, "
                     "uncached)"),
+    "adaptive_convergence": BenchmarkDef(
+        name="adaptive_convergence", metric="replications",
+        description="replications needed to bring a seeded Figure 4.2 "
+                    "slice within +-10% under CRN + control variates "
+                    "(simulation-deterministic; guards the "
+                    "variance-reduction machinery)"),
 }
 
 
@@ -276,10 +285,52 @@ def _run_figure(scale: float, repeat: int, handicap: float) -> dict:
     }
 
 
+def _run_adaptive_convergence(scale: float, repeat: int,
+                              handicap: float) -> dict:
+    """Replications-to-converge of a CRN + control-variate slice.
+
+    Unlike the wall-clock benchmarks this metric is fully
+    simulation-determined: the adaptive scheduler's replication count
+    depends only on seeds and the estimators, so the gate band catches
+    *statistical* regressions (a broken covariate, a seed-derivation
+    change, an estimator that stopped tightening) rather than machine
+    noise.  ``repeat`` is ignored (re-runs are bit-identical) and
+    ``handicap`` multiplies the replication count so the CI gate
+    self-test stays meaningful.
+    """
+    from ..experiments.adaptive import run_adaptive_curve_set
+    from ..experiments.runner import PrecisionSettings
+
+    strategies = ["queue-length", "min-average-population"]
+    rates = [15.0, 25.0, 30.0]
+    settings = PrecisionSettings(
+        scale=scale, rel_precision=0.1, min_replications=2,
+        max_replications=8, crn=True, control_variates=True)
+    outcome = run_adaptive_curve_set(
+        [(name, name, list(rates)) for name in strategies],
+        settings=settings, workers=1, cache=None)
+    report = outcome.report
+    return {
+        "benchmark": "adaptive_convergence",
+        "scale": scale,
+        "repeat": 1,
+        "strategies": strategies,
+        "rates": rates,
+        "rel_precision": settings.rel_precision,
+        "max_replications": settings.max_replications,
+        "points": report.n_points,
+        "converged_points": sum(1 for p in report.points if p.converged),
+        "replications": round(report.replications_total * handicap, 1),
+        "fixed_grid_replications": report.fixed_grid_replications,
+        "recorded_at": _utc_stamp(),
+    }
+
+
 _RUNNERS = {
     "engine_throughput": _run_engine_throughput,
     "system_throughput": _run_system_throughput,
     "figure_4_1": _run_figure,
+    "adaptive_convergence": _run_adaptive_convergence,
 }
 
 

@@ -18,13 +18,17 @@ from .engine import (
 from .network import DuplexChannel, Link, Message
 from .resources import PriorityResource, Request, Resource, Store
 from .spans import PHASES, SpanRecorder
-from .rng import ExponentialSampler, RandomStreams, UniformIntSampler
+from .rng import ExponentialSampler, RandomStreams, UniformIntSampler, \
+    crn_seed
 from .stats import (
     BatchMeans,
+    ControlVariateEstimate,
     IntervalEstimate,
+    PairedDifference,
     ReplicationSummary,
     RunningStat,
     TimeWeightedStat,
+    paired_difference,
 )
 from .trace import NullTracer, TraceRecord, Tracer, make_tracer
 
@@ -48,8 +52,12 @@ __all__ = [
     "ExponentialSampler",
     "RandomStreams",
     "UniformIntSampler",
+    "crn_seed",
     "BatchMeans",
+    "ControlVariateEstimate",
     "IntervalEstimate",
+    "PairedDifference",
+    "paired_difference",
     "ReplicationSummary",
     "RunningStat",
     "TimeWeightedStat",
