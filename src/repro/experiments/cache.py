@@ -55,7 +55,11 @@ __all__ = ["ResultCache", "default_cache_dir", "CACHE_VERSION"]
 #: 4: SimulationResult gained the control-variate ``covariates`` /
 #:    ``covariate_means`` fields; pre-bump pickles lack them and would
 #:    raise on attribute access.
-CACHE_VERSION = 4
+#: 5: SystemConfig gained the commit-protocol fields (``protocol`` /
+#:    ``epoch_interval``) and SimulationResult gained ``protocol`` /
+#:    ``protocol_counters``; pre-bump keys were derived without the new
+#:    config fields and pre-bump pickles lack the result fields.
+CACHE_VERSION = 5
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "HYBRIDDB_CACHE_DIR"

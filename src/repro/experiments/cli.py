@@ -10,6 +10,9 @@ Installed as ``hybriddb-experiment`` (see pyproject).  Examples::
     hybriddb-experiment --figure all --scale 0.3 --workers 0
     hybriddb-experiment --figure 4.3 --csv fig43.csv
     hybriddb-experiment --figure 4.1 --no-cache
+    hybriddb-experiment --figure 4.1 --protocol 2pc
+    hybriddb-experiment --scorecard --scale 0.3 --protocol epoch
+    hybriddb-experiment --list-protocols
     hybriddb-experiment --validate
     hybriddb-experiment --verify
     hybriddb-experiment --list
@@ -151,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "covariates (arrival counts, analytic-model "
                              "prediction); tightens confidence intervals "
                              "and, with --precision, cuts replications")
+    parser.add_argument("--protocol", default="optimistic",
+                        metavar="NAME",
+                        help="commit protocol for every simulation "
+                             "(default optimistic; see "
+                             "`hybriddb-experiment --list-protocols`)")
+    parser.add_argument("--list-protocols", action="store_true",
+                        help="list registered commit protocols and exit")
     parser.add_argument("--seed", type=int, default=7_001,
                         help="base random seed")
     parser.add_argument("--workers", type=int, default=1,
@@ -334,6 +344,20 @@ def main(argv: list[str] | None = None) -> int:
             doc = (builder.__doc__ or "").strip().splitlines()[0]
             print(f"  {figure_id}: {doc}")
         return 0
+    if args.list_protocols:
+        from ..hybrid.protocols import get_protocol, protocol_names
+
+        for name in protocol_names():
+            doc = (get_protocol(name).__doc__ or "").strip().splitlines()
+            print(f"  {name}: {doc[0] if doc else ''}")
+        return 0
+    from ..hybrid.protocols import protocol_names
+
+    if args.protocol not in protocol_names():
+        print(f"error: unknown --protocol {args.protocol!r}; registered "
+              f"protocols: {', '.join(protocol_names())}",
+              file=sys.stderr)
+        return 2
     if args.verify:
         from ..verify.cli import main as verify_main
 
@@ -365,12 +389,14 @@ def main(argv: list[str] | None = None) -> int:
             rel_precision=args.precision,
             min_replications=min_replications,
             max_replications=args.max_replications,
-            crn=args.crn, control_variates=args.control_variates)
+            crn=args.crn, control_variates=args.control_variates,
+            protocol=args.protocol)
     else:
         settings = RunSettings(replications=args.replications,
                                base_seed=args.seed, scale=args.scale,
                                crn=args.crn,
-                               control_variates=args.control_variates)
+                               control_variates=args.control_variates,
+                               protocol=args.protocol)
     workers = args.workers  # 0 -> auto-detect inside ParallelRunner
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if (args.telemetry or args.trace_out or args.metrics_out or

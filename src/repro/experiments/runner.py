@@ -80,6 +80,12 @@ class RunSettings:
     scale: float = 1.0
     crn: bool = False
     control_variates: bool = False
+    #: Commit protocol every configuration built through
+    #: :meth:`config_for` runs under (a :mod:`repro.hybrid.protocols`
+    #: name).  Threading it through the settings object means the whole
+    #: experiment surface -- figures, scorecard, availability,
+    #: sensitivity -- scores per protocol without per-call plumbing.
+    protocol: str = "optimistic"
 
     def __post_init__(self) -> None:
         if self.replications < 1:
@@ -90,6 +96,7 @@ class RunSettings:
 
     def config_for(self, total_rate: float, comm_delay: float,
                    **overrides) -> SystemConfig:
+        overrides.setdefault("protocol", self.protocol)
         return paper_config(
             total_rate=total_rate,
             comm_delay=comm_delay,
@@ -171,7 +178,8 @@ class PrecisionSettings(RunSettings):
             warmup_time=self.warmup_time, measure_time=self.measure_time,
             replications=self.max_replications, base_seed=self.base_seed,
             scale=self.scale, crn=self.crn,
-            control_variates=self.control_variates)
+            control_variates=self.control_variates,
+            protocol=self.protocol)
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from .protocol import (
     UpdateAck,
     UpdatePropagation,
 )
+from .protocols import CommitProtocol, get_protocol, protocol_names
 from .system import HybridSystem, simulate
 from .telemetry import TelemetrySampler, TelemetrySeries, TelemetryWindow
 
@@ -39,6 +40,9 @@ __all__ = [
     "TxnShipment",
     "UpdateAck",
     "UpdatePropagation",
+    "CommitProtocol",
+    "get_protocol",
+    "protocol_names",
     "HybridSystem",
     "simulate",
     "TelemetrySampler",

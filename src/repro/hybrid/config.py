@@ -83,6 +83,18 @@ class SystemConfig:
     #: it; this implementation makes the comparison runnable.
     class_b_mode: str = "central"
 
+    # -- commit protocol -----------------------------------------------------
+    #: The site<->central commit protocol: a name registered in
+    #: :mod:`repro.hybrid.protocols` (``optimistic`` -- the paper's
+    #: asynchronous-update / optimistic-authentication interaction,
+    #: ``2pc`` -- primary-copy two-phase commit, ``epoch`` --
+    #: deterministic epoch-batched group commit).
+    protocol: str = "optimistic"
+    #: Epoch length in seconds for the epoch-batched protocol (update
+    #: batches ship and central commits resolve once per epoch).
+    #: Ignored by the other protocols.
+    epoch_interval: float = 0.25
+
     # -- measurement ---------------------------------------------------------
     warmup_time: float = 40.0
     measure_time: float = 160.0
@@ -127,6 +139,17 @@ class SystemConfig:
             raise ValueError(
                 f"class_b_mode must be 'central' or 'remote-call', got "
                 f"{self.class_b_mode!r}")
+        # Imported at call time: the registry is dependency-free, but
+        # the implementation modules it lazily loads import this module.
+        from .protocols import protocol_names
+        if self.protocol not in protocol_names():
+            raise ValueError(
+                f"unknown commit protocol {self.protocol!r}; registered "
+                f"protocols: {', '.join(protocol_names())}")
+        if self.epoch_interval <= 0:
+            raise ValueError(
+                f"epoch_interval must be positive, got "
+                f"{self.epoch_interval}")
         if self.warmup_time < 0 or self.measure_time <= 0:
             raise ValueError("invalid measurement window")
 

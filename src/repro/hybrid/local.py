@@ -554,8 +554,9 @@ class LocalSite(SiteBase):
                 if txn.marked_for_abort:
                     self._abort_invalidated(txn)
                     continue
-                self._commit(txn)
-                return
+                committed = yield from self._commit_phase(txn)
+                if committed:
+                    return
         except Interrupt:
             self._lose_to_crash(txn)
         finally:
@@ -597,6 +598,22 @@ class LocalSite(SiteBase):
         # Under the paper's modelling assumption surviving locks are kept;
         # entities taken by the authenticating transaction were already
         # removed from ``locked_entities`` during eviction.
+
+    def _commit_phase(self, txn: Transaction):
+        """Commit-protocol hook: finish a transaction that passed its
+        abort checks.  Returns ``True`` when the transaction's run is
+        over (committed, or its completion delegated elsewhere) and
+        ``False`` to re-execute it (protocols whose commit round can be
+        refused).
+
+        The default is the optimistic protocol's synchronous local
+        commit.  This generator never yields, so ``yield from`` runs it
+        as a plain call -- the extraction changes nothing about the
+        event stream, which the golden-trace gate pins byte-for-byte.
+        """
+        self._commit(txn)
+        return True
+        yield  # pragma: no cover - unreachable; makes this a generator
 
     def _commit(self, txn: Transaction) -> None:
         """Release locks, start asynchronous propagation, complete."""

@@ -186,6 +186,17 @@ class SimulationResult:
     #: computed from the configuration alone.
     covariate_means: dict[str, float] = field(default_factory=dict)
 
+    # -- commit-protocol extensions (defaulted for compatibility) ----------
+
+    #: The commit protocol that produced this run (a name from
+    #: :mod:`repro.hybrid.protocols`).
+    protocol: str = "optimistic"
+    #: Protocol-specific event counters (``record_protocol_event``
+    #: mirror: prepare rounds, epoch flushes, blocked-transaction
+    #: resolutions, ...).  Empty under the default protocol, which keeps
+    #: pre-extraction results field-identical.
+    protocol_counters: dict[str, int] = field(default_factory=dict)
+
     @property
     def shipped_fraction(self) -> float:
         """Fraction of measured class A arrivals routed to the central site."""
@@ -434,6 +445,14 @@ class MetricsCollector:
         self._auth_deadline = reg.counter(
             "auth_deadline_refusals", "authentication rounds refused "
             "for an expired deadline", labels=("site",))
+        # Commit-protocol event counters (prepare rounds, epoch flushes,
+        # ...).  The default protocol never fires these, so the registry
+        # snapshot -- and with it every golden fingerprint -- is
+        # unchanged for pre-existing runs.
+        self._protocol_events = reg.counter(
+            "protocol_events", "commit-protocol events by kind",
+            labels=("event",))
+        self.protocol_event_counts: dict[str, int] = {}
         #: Protocol-level recovery timings
         #: (:class:`~repro.sim.faults.RecoveryRecord`).
         self.recoveries: list = []
@@ -542,6 +561,21 @@ class MetricsCollector:
         """
         if self.measuring:
             (self._auth_granted if granted else self._auth_refused).inc()
+
+    def record_protocol_event(self, event: str) -> None:
+        """One commit-protocol event (registry-only hook).
+
+        Like :meth:`record_auth_round` this deliberately emits no trace
+        event -- golden traces hash the exact event stream, so
+        per-protocol observability (prepare rounds, votes, epoch
+        flushes, blocked-transaction resolutions) lands in the registry
+        and the result's ``protocol_counters``, never in the tracer
+        vocabulary.  Counted unconditionally: protocol rounds are
+        structural behaviour, not a warmup-sensitive measurement.
+        """
+        self._protocol_events.labels(event).inc()
+        self.protocol_event_counts[event] = \
+            self.protocol_event_counts.get(event, 0) + 1
 
     def record_message(self, to_central: bool, kind: str | None = None,
                        site: int | None = None) -> None:
@@ -846,6 +880,7 @@ class MetricsCollector:
                fault_episodes: tuple = (),
                covariates: dict[str, float] | None = None,
                covariate_means: dict[str, float] | None = None,
+               protocol: str = "optimistic",
                ) -> SimulationResult:
         """Produce the immutable result for this run."""
         measured_time = max(self.env.now - self.warmup_time, 1e-12)
@@ -939,4 +974,6 @@ class MetricsCollector:
             metrics=self.registry.snapshot(),
             covariates=dict(covariates or {}),
             covariate_means=dict(covariate_means or {}),
+            protocol=protocol,
+            protocol_counters=dict(self.protocol_event_counts),
         )

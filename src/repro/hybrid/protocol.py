@@ -55,6 +55,10 @@ __all__ = [
     "RemoteCommit",
     "RemoteRelease",
     "RemoteInvalidate",
+    "TxnPrepare",
+    "TxnVote",
+    "TxnDecision",
+    "EpochCommitOrder",
 ]
 
 
@@ -368,3 +372,74 @@ class RemoteInvalidate:
 
     txn_id: int
     snapshot: CentralSnapshot
+
+
+# ---------------------------------------------------------------------------
+# Primary-copy two-phase commit (protocol "2pc").  Updating local
+# transactions replace the asynchronous UpdatePropagation with a
+# synchronous prepare/vote round against the central site, which acts as
+# the primary-copy coordinator; the decision is the second phase.  The
+# site is blocked (holding its locks) between prepare and vote -- the
+# protocol's defining cost, including blocking on coordinator failure.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TxnPrepare:
+    """Site -> central: phase 1 of a local updating commit.
+
+    The site holds its locks and enters the in-doubt state until the
+    coordinator's vote arrives.
+    """
+
+    txn_id: int
+    site: int
+    updates: tuple[int, ...]
+
+
+@dataclass
+class TxnVote:
+    """Central -> site: the coordinator's vote on a ``TxnPrepare``.
+
+    ``granted`` commits the transaction (the site applies its updates
+    and acknowledges with a ``TxnDecision``); a refusal -- the updates
+    conflict with another in-doubt transaction -- aborts and re-runs it.
+    """
+
+    txn_id: int
+    granted: bool
+    snapshot: CentralSnapshot
+
+
+@dataclass
+class TxnDecision:
+    """Site -> central: phase 2 -- the final outcome of a prepared
+    transaction.  On commit the central applies the updates to the
+    primary copy and releases the in-doubt entries."""
+
+    txn_id: int
+    site: int
+    commit: bool
+    updates: tuple[int, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic epoch-batched commit (protocol "epoch").  Execution and
+# update propagation reuse the optimistic machinery, but batches ship
+# once per epoch and the central applies them in deterministic
+# (site, seq) order at the epoch boundary; central commits wait for the
+# boundary and lose deterministically to that epoch's site batches.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EpochCommitOrder:
+    """Central -> master: apply an epoch-committed central transaction's
+    updates for entities mastered at this site.  Unlike ``CommitOrder``
+    there are no master locks to release (the epoch protocol runs no
+    authentication round); conflicting active local holders are marked
+    for abort instead."""
+
+    txn_id: int
+    snapshot: CentralSnapshot
+    updates: tuple[int, ...]

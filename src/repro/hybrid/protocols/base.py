@@ -1,0 +1,98 @@
+"""The :class:`CommitProtocol` interface.
+
+A commit protocol owns the site<->central interaction of the hybrid
+system: how a local transaction's updates reach the central replica
+(shipment and update propagation), how commits are authorised
+(authentication / voting / epoch ordering), and how the interaction
+survives faults (the recovery hooks).  Everything else -- workload,
+routing strategies, the lock tables, metrics, fault injection -- is
+protocol-independent and shared.
+
+A protocol is a *class selection*: it supplies the concrete
+``LocalSite`` / ``CentralSite`` / ``StandbyCentral`` classes the
+:class:`~repro.hybrid.system.HybridSystem` wires together.  The three
+factories receive exactly the arguments the stock classes take, so the
+default protocol can return them unchanged -- which is how the
+extraction stays bit-identical to the pre-refactor simulator.
+
+Behavioural contract every implementation must satisfy (enforced by
+``tests/test_protocol_conformance.py``):
+
+* **Replica consistency.**  After a drained run every owned entity's
+  update count at the central replica equals the count at its master
+  site (exactly-once application on both sides).
+* **Exactly-once completion.**  Each transaction completes at most
+  once, never while marked for abort, with a positive response time
+  (the invariant checker's ``record_completion`` wrap).
+* **FIFO update application.**  If the protocol uses
+  ``UpdatePropagation`` batches, the central applies each site's
+  batches in sequence order, never applying more than the site sent.
+* **Abort vocabulary.**  Aborts are recorded under the existing causes
+  (``deadlock`` / ``local-invalidated`` / ``central-invalidated``) so
+  the result schema stays protocol-independent.
+* **Determinism.**  Same seed, same config, same fault plan => the
+  same :meth:`~repro.hybrid.metrics.SimulationResult.identity_dict`.
+* **Registry-only observability.**  Protocol-specific counters go
+  through ``MetricsCollector.record_protocol_event`` (the metrics
+  registry), never through new tracer vocabulary -- golden traces hash
+  the exact event stream.
+
+See ``docs/PROTOCOL.md`` for the full contract and a registration
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..central import CentralSite
+    from ..config import SystemConfig
+    from ..local import LocalSite
+    from ..standby import StandbyCentral
+    from ..system import HybridSystem
+
+__all__ = ["CommitProtocol"]
+
+
+class CommitProtocol:
+    """Factory bundle for one site<->central commit protocol.
+
+    Subclasses set :attr:`name` (the registry / config / CLI / cache
+    identity) and implement the three ``make_*`` factories.  The class
+    attributes below the factories are documentation metadata surfaced
+    in ``docs/PROTOCOL.md``'s zoo table; they carry no runtime
+    behaviour.
+    """
+
+    #: Registry name -- the value of ``SystemConfig.protocol``.
+    name: str = "abstract"
+
+    #: Zoo-table metadata: site-commit message cost, blocking behaviour.
+    messages_per_local_commit: str = ""
+    blocking: str = ""
+    consistency: str = ""
+
+    # -- factories ----------------------------------------------------------
+
+    def make_local(self, env, site_id: int, config: "SystemConfig",
+                   system: "HybridSystem", router) -> "LocalSite":
+        """Build the local-site implementation for ``site_id``."""
+        raise NotImplementedError
+
+    def make_central(self, env, config: "SystemConfig",
+                     system: "HybridSystem", partition) -> "CentralSite":
+        """Build the central-site implementation."""
+        raise NotImplementedError
+
+    def make_standby(self, env, config: "SystemConfig",
+                     system: "HybridSystem", partition) -> "StandbyCentral":
+        """Build the hot-standby implementation (failover recovery)."""
+        raise NotImplementedError
+
+    # -- hooks --------------------------------------------------------------
+
+    def on_wired(self, system: "HybridSystem") -> None:
+        """Called once after the system is fully wired (links, faults,
+        standby).  Default: nothing -- protocols that need cross-site
+        setup beyond class selection override this."""

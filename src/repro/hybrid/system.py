@@ -28,6 +28,7 @@ from .central import CentralSite
 from .config import SystemConfig
 from .local import LocalSite
 from .metrics import MetricsCollector, SimulationResult
+from .protocols import get_protocol
 from .standby import StandbyCentral
 from .telemetry import TelemetrySampler
 
@@ -78,11 +79,16 @@ class HybridSystem:
         self.partition = LockSpacePartition(config.workload.lockspace,
                                             config.workload.n_sites)
 
-        self.central = CentralSite(self.env, config, self, self.partition)
+        # The commit protocol is a class selection: it supplies the
+        # local/central/standby implementations wired below (the default
+        # returns the stock classes unchanged).
+        self.protocol = get_protocol(config.protocol)
+        self.central = self.protocol.make_central(self.env, config, self,
+                                                  self.partition)
         self.routers = [router_factory(config, site_id)
                         for site_id in range(config.n_sites)]
-        self.sites = [LocalSite(self.env, site_id, config, self,
-                                self.routers[site_id])
+        self.sites = [self.protocol.make_local(self.env, site_id, config,
+                                               self, self.routers[site_id])
                       for site_id in range(config.n_sites)]
         self.strategy_name = self.routers[0].name if self.routers else "none"
         if audit is not None and not audit.strategy:
@@ -138,8 +144,8 @@ class HybridSystem:
                 for site in self.sites:
                     site.enable_recovery(recovery)
             if recovery.failover:
-                self.standby = StandbyCentral(self.env, config, self,
-                                              self.partition)
+                self.standby = self.protocol.make_standby(
+                    self.env, config, self, self.partition)
                 self.standby.enable_recovery(recovery)
                 standby_to_sites = []
                 standby_from_sites = []
@@ -191,6 +197,8 @@ class HybridSystem:
         # Windowed run telemetry (ring-buffered; see telemetry module).
         self.telemetry = TelemetrySampler(self, telemetry_interval,
                                           telemetry_capacity)
+
+        self.protocol.on_wired(self)
 
     # -- observation helpers ------------------------------------------------
 
@@ -381,6 +389,7 @@ class HybridSystem:
             total_rate=config.workload.total_arrival_rate,
             comm_delay=config.comm_delay,
             strategy=self.strategy_name,
+            protocol=config.protocol,
             seed=self.seed,
             local_utilizations=[
                 site.cpu.utilization(since=config.warmup_time)

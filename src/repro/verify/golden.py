@@ -58,6 +58,10 @@ class Scenario:
     #: scenario shrinks the database so every abort cause actually fires
     #: inside the fingerprinted horizon.
     lockspace: int | None = None
+    #: Commit protocol under test (registry name).  The default keeps
+    #: the pre-existing scenarios on the optimistic path, fingerprinted
+    #: byte-identically to before the protocol extraction.
+    protocol: str = "optimistic"
     description: str = ""
 
 
@@ -76,6 +80,18 @@ SCENARIOS: tuple[Scenario, ...] = (
              description="queue-length routing, heavy load, shrunken "
                          "lockspace: shipping, deadlocks, invalidations "
                          "and NAKs all active"),
+    Scenario(name="twophase-hot",
+             strategy="queue-length", total_rate=18.0, lockspace=2_000,
+             protocol="2pc",
+             description="primary-copy 2PC under the hot workload: "
+                         "prepare/vote/decision rounds and in-doubt "
+                         "refusals pinned"),
+    Scenario(name="epoch-hot",
+             strategy="queue-length", total_rate=18.0, lockspace=2_000,
+             protocol="epoch",
+             description="epoch-batched group commit under the hot "
+                         "workload: epoch flushes, batch ordering and "
+                         "deferred completions pinned"),
 )
 
 
@@ -121,7 +137,8 @@ def fingerprint(scenario: Scenario) -> dict:
     tracer = Tracer(sink=digest, max_records=0)
     settings = RunSettings(warmup_time=scenario.warmup_time,
                            measure_time=scenario.measure_time,
-                           base_seed=scenario.seed)
+                           base_seed=scenario.seed,
+                           protocol=scenario.protocol)
     overrides = {}
     if scenario.lockspace is not None:
         config = settings.config_for(scenario.total_rate,
@@ -131,17 +148,22 @@ def fingerprint(scenario: Scenario) -> dict:
     result = run_single(scenario.strategy, scenario.total_rate,
                         scenario.comm_delay, settings=settings,
                         tracer=tracer, **overrides)
+    pinned = {
+        "name": scenario.name,
+        "strategy": scenario.strategy,
+        "total_rate": scenario.total_rate,
+        "comm_delay": scenario.comm_delay,
+        "warmup_time": scenario.warmup_time,
+        "measure_time": scenario.measure_time,
+        "seed": scenario.seed,
+        "lockspace": scenario.lockspace,
+    }
+    if scenario.protocol != "optimistic":
+        # Only recorded when non-default, so the pre-extraction golden
+        # files for the optimistic scenarios stay byte-identical.
+        pinned["protocol"] = scenario.protocol
     return {
-        "scenario": {
-            "name": scenario.name,
-            "strategy": scenario.strategy,
-            "total_rate": scenario.total_rate,
-            "comm_delay": scenario.comm_delay,
-            "warmup_time": scenario.warmup_time,
-            "measure_time": scenario.measure_time,
-            "seed": scenario.seed,
-            "lockspace": scenario.lockspace,
-        },
+        "scenario": pinned,
         "counts": {
             "completed": result.completed,
             "class_a_arrivals": result.class_a_arrivals,
